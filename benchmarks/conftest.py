@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper and prints
+its report, so ``pytest benchmarks/ --benchmark-only`` doubles as the
+full evaluation run.  The printed reports are the reproduction
+deliverable; the timings tell you what each experiment costs.
+"""
+
+import pytest
+
+
+def report(title: str, text: str) -> None:
+    """Print an experiment report under a visible banner."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")

@@ -1,0 +1,27 @@
+"""Ablation benchmark: what each NetDIMM mechanism buys."""
+
+from benchmarks.conftest import report
+from repro.core.rowclone import CloneMode
+from repro.experiments import ablation
+
+
+def test_bench_ablation(benchmark):
+    result = benchmark.pedantic(ablation.run, rounds=1, iterations=1)
+    report("Ablations", ablation.format_report(result))
+    # Removing a mechanism does not help at MTU scale.  (At 64 B the
+    # no-hint variant can *win* slightly: FPM clones whole 8 KB rows, so
+    # a one-line PSM copy is cheaper — see the module docstring.)
+    for variant in ablation.VARIANTS:
+        assert result.slowdown(variant, 1514) >= 0.999
+    for variant in ("no_ncache", "no_prefetch", "no_alloccache"):
+        assert result.slowdown(variant, 64) >= 0.999
+    # The prefetcher pays off on full-payload reads.
+    reads = dict(result.payload_read)
+    assert reads[("prefetch_off", 0)] > reads[("prefetch_on", 4)]
+    # Fig. 8 cost hierarchy.
+    for size in (1514, 4096):
+        assert (
+            result.clone_latency[(CloneMode.FPM, size)]
+            < result.clone_latency[(CloneMode.PSM, size)]
+            < result.clone_latency[(CloneMode.GCM, size)]
+        )

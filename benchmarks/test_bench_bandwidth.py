@@ -1,0 +1,13 @@
+"""Sec. 5.2 benchmark: line-rate bandwidth for all configurations."""
+
+from benchmarks.conftest import report
+from repro.experiments import bandwidth
+
+
+def test_bench_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        lambda: bandwidth.run(packets=200), rounds=1, iterations=1
+    )
+    report("Sec. 5.2 — sustained bandwidth", bandwidth.format_report(result))
+    for config, gbps in result.achieved_gbps.items():
+        assert gbps > 34.0, f"{config} fell below line rate: {gbps:.1f} Gb/s"

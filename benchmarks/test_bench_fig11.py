@@ -1,0 +1,13 @@
+"""Fig. 11 benchmark: the headline latency-breakdown comparison."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig11
+
+
+def test_bench_fig11(benchmark):
+    result = benchmark.pedantic(fig11.run, rounds=1, iterations=1)
+    report("Fig. 11 — latency breakdown", fig11.format_report(result))
+    assert 0.40 <= result.average_improvement("dnic") <= 0.60
+    assert 0.18 <= result.average_improvement("inic") <= 0.36
+    for size in fig11.QUOTED_SIZES:
+        assert 0.05 <= result.flush_invalidate_share(size) <= 0.20

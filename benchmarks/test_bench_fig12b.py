@@ -1,0 +1,16 @@
+"""Fig. 12(b) benchmark: co-runner memory latency under DPI / L3F."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig12b
+from repro.workloads.netfuncs import NetworkFunction
+from repro.workloads.traces import ClusterKind
+
+
+def test_bench_fig12b(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12b.run(packets=800), rounds=1, iterations=1
+    )
+    report("Fig. 12(b) — co-runner memory latency", fig12b.format_report(result))
+    for cluster in ClusterKind:
+        assert result.normalized(cluster, NetworkFunction.DPI) >= 1.0
+        assert result.normalized(cluster, NetworkFunction.L3F) < 1.0

@@ -1,0 +1,17 @@
+"""Fig. 4 benchmark: baseline NIC configurations and PCIe overhead."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig4
+
+
+def test_bench_fig4(benchmark):
+    result = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    report("Fig. 4 — dNIC / dNIC.zcpy / iNIC / iNIC.zcpy", fig4.format_report(result))
+    # Shape assertions: iNIC wins, zero copy wins, PCIe share shrinks.
+    for size in fig4.PACKET_SIZES:
+        assert result.inic_improvement(size) > 0
+        assert result.zcpy_improvement("inic", size) > 0
+        assert result.zcpy_improvement("dnic", size) > 0
+    assert result.pcie_overhead_fraction[("dnic.zcpy", 10)] > (
+        result.pcie_overhead_fraction[("dnic.zcpy", 2000)]
+    )

@@ -1,0 +1,16 @@
+"""Fig. 5 benchmark: iperf bandwidth vs. memory pressure."""
+
+from benchmarks.conftest import report
+from repro.experiments import fig5
+
+
+def test_bench_fig5(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig5.run(packets=300), rounds=1, iterations=1
+    )
+    report("Fig. 5 — iperf bandwidth vs. MLC pressure", fig5.format_report(result))
+    assert result.unloaded_gbps > 35
+    assert result.max_pressure_fraction < 0.5
+    # Bandwidth recovers monotonically as the injector backs off.
+    ordered = [result.bandwidth_gbps[d] for d in (0, 100, 500, None)]
+    assert all(b <= a * 1.02 for a, b in zip(ordered[1:], ordered))

@@ -1,0 +1,10 @@
+"""Table 1 benchmark: system-configuration report."""
+
+from benchmarks.conftest import report
+from repro.experiments import table1
+
+
+def test_bench_table1(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=10, iterations=1)
+    report("Table 1 — system configuration", table1.format_report(result))
+    assert result.rows["Cores (# cores, freq)"] == "(8, 3.4GHz)"

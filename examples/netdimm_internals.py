@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Drive the NetDIMM buffer device directly and watch its mechanisms.
+
+This example bypasses the driver and exercises the device the way the
+paper's Sec. 4.1 describes it: receive a packet through the nNIC,
+observe the header landing in nCache, read the header (consumed from
+SRAM, no prefetch), stream the payload (next-line prefetcher engages),
+and clone buffers in each RowClone mode.
+
+Run:  python examples/netdimm_internals.py
+"""
+
+from repro.core import NetDIMMDevice
+from repro.core.rowclone import CloneMode
+from repro.sim import Simulator
+from repro.units import CACHELINE, to_ns
+
+
+def main() -> None:
+    sim = Simulator()
+    device = NetDIMMDevice(sim, "netdimm0")
+    geometry = device.geometry
+
+    print("== 1. nNIC receives a 1514 B packet ==")
+    buffer = 0x40000
+    descriptor = 0x200
+    sim.run_until(device.nic_receive_dma(buffer, 1514, descriptor))
+    print(f"   deposited at {to_ns(sim.now):.0f} ns; "
+          f"header cached in nCache: {device.ncache.contains(buffer)}")
+
+    print("\n== 2. Host reads the header (an L3F would stop here) ==")
+    start = sim.now
+    sim.run_until(device.device_read(buffer, CACHELINE))
+    print(f"   header read: {to_ns(sim.now - start):.0f} ns "
+          f"(nCache hit, consumed on read)")
+    print(f"   prefetches launched: {device.nprefetcher.stats.get_counter('launched')}"
+          " (zero — header reads are flag-gated)")
+
+    print("\n== 3. Host streams the payload (a DPI would do this) ==")
+    start = sim.now
+    misses_before = device.stats.get_counter("ncache_misses")
+    for line in range(1, 24):
+        sim.run_until(device.device_read(buffer + line * CACHELINE, CACHELINE))
+    misses = device.stats.get_counter("ncache_misses") - misses_before
+    print(f"   23 payload lines in {to_ns(sim.now - start):.0f} ns, "
+          f"{misses} nCache miss(es) — the next-line prefetcher covered the rest")
+
+    print("\n== 4. In-memory buffer cloning (Fig. 8 cost hierarchy) ==")
+    src = geometry.encode(rank=0, bank=0, subarray=0, row=0)
+    destinations = {
+        CloneMode.FPM: geometry.encode(rank=0, bank=0, subarray=0, row=8),
+        CloneMode.PSM: geometry.encode(rank=0, bank=7, subarray=33, row=8),
+        CloneMode.GCM: geometry.encode(rank=1, bank=7, subarray=33, row=8),
+    }
+    for mode, dst in destinations.items():
+        assert device.clone_mode(dst, src) is mode
+        start = sim.now
+        sim.run_until(device.clone(dst, src, 1514))
+        print(f"   {mode.value.upper()}: 1514 B cloned in {to_ns(sim.now - start):.0f} ns")
+
+    print("\n(The CPU never copied a byte — that is the point.)")
+
+
+if __name__ == "__main__":
+    main()

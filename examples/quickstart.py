@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""Quickstart: how much latency does NetDIMM save on one packet?
+
+Builds two pairs of directly connected servers — one pair with
+conventional PCIe NICs, one pair with NetDIMMs — sends a 256 B packet
+across each, and prints the per-segment latency breakdown side by side.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.experiments.oneway import measure_one_way
+from repro.net.packet import FIG11_SEGMENTS
+
+SIZE = 256
+
+
+def main() -> None:
+    dnic = measure_one_way("dnic", SIZE)
+    netdimm = measure_one_way("netdimm", SIZE)
+
+    print(f"One-way latency for a {SIZE} B packet over 40GbE\n")
+    print(f"{'segment':<14}{'PCIe NIC':>12}{'NetDIMM':>12}")
+    for segment in FIG11_SEGMENTS:
+        left = dnic.segments.get(segment, 0) / 1000
+        right = netdimm.segments.get(segment, 0) / 1000
+        if left == 0 and right == 0:
+            continue
+        print(f"{segment:<14}{left:>10.0f}ns{right:>10.0f}ns")
+    print(f"{'TOTAL':<14}{dnic.total_us:>10.2f}us{netdimm.total_us:>10.2f}us")
+
+    saved = 1 - netdimm.total_ticks / dnic.total_ticks
+    print(
+        f"\nNetDIMM is {saved:.1%} faster: no PCIe round trips for registers "
+        "or descriptors, and the RX copy became an in-memory RowClone."
+    )
+
+
+if __name__ == "__main__":
+    main()

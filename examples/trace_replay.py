@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Replay Facebook-style cluster traffic over the clos fabric.
+
+Generates synthetic traces matching the published size/locality
+distributions of the three Facebook production clusters (Sec. 5.1),
+replays them through the dNIC / iNIC / NetDIMM end-host models plus
+the clos fabric, and prints mean per-packet latency per configuration —
+a small-scale version of the Fig. 12(a) experiment.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.experiments import fig12a
+from repro.workloads.traces import ClusterKind, TraceGenerator
+
+
+def main() -> None:
+    print("Synthetic trace sanity check (paper distributions):")
+    for cluster in ClusterKind:
+        histogram = TraceGenerator(cluster).size_histogram(4000)
+        print(
+            f"  {cluster.value:<10} <100B: {histogram['under_100']:.0%}  "
+            f"<300B: {histogram['under_300']:.0%}  "
+            f"MTU: {histogram['at_mtu']:.0%}  mean: {histogram['mean']:.0f}B"
+        )
+
+    print("\nReplaying 1000 packets per cluster over the clos fabric...")
+    result = fig12a.run(packets_per_cluster=1000)
+
+    print(f"\n{'cluster':<12}{'dNIC':>10}{'iNIC':>10}{'NetDIMM':>10}{'saved':>9}")
+    for cluster in ClusterKind:
+        dnic = result.mean_latency[(cluster, "dnic", 100)] / 1e6
+        inic = result.mean_latency[(cluster, "inic", 100)] / 1e6
+        netdimm = result.mean_latency[(cluster, "netdimm", 100)] / 1e6
+        print(
+            f"{cluster.value:<12}{dnic:>8.2f}us{inic:>8.2f}us{netdimm:>8.2f}us"
+            f"{1 - netdimm / dnic:>9.1%}"
+        )
+    print("\n(100 ns switches; see benchmarks/test_bench_fig12a.py for the "
+          "full 25-200 ns sweep.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""NetDIMM reproduction: a near-memory NIC architecture simulator.
+
+A from-scratch Python reproduction of *NetDIMM: Low-Latency Near-Memory
+Network Interface Architecture* (Alian & Kim, MICRO 2019): a
+discrete-event full-system model of servers whose 40GbE NIC lives in
+the buffer device of a DDR5 DIMM, plus the PCIe-NIC and integrated-NIC
+baselines it is evaluated against, and a harness regenerating every
+table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro.experiments.oneway import measure_one_way
+
+    dnic = measure_one_way("dnic", size_bytes=256)
+    netdimm = measure_one_way("netdimm", size_bytes=256)
+    print(f"{1 - netdimm.total_ticks / dnic.total_ticks:.1%} faster")
+
+Package map — substrates: :mod:`repro.sim` (event kernel),
+:mod:`repro.dram`, :mod:`repro.pcie`, :mod:`repro.cache`,
+:mod:`repro.mem`, :mod:`repro.net`, :mod:`repro.nic`; the paper's
+contribution: :mod:`repro.core`; software stack: :mod:`repro.driver`;
+workloads: :mod:`repro.workloads`; evaluation: :mod:`repro.experiments`
+and :mod:`repro.analysis`; every calibrated constant:
+:mod:`repro.params`.
+"""
+
+from repro.params import DEFAULT, SystemParams
+
+__version__ = "1.0.0"
+
+__all__ = ["DEFAULT", "SystemParams", "__version__"]

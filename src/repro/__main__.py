@@ -1,0 +1,136 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments [names...]``
+    Run the paper's tables/figures (all by default) and print reports.
+``list``
+    List available experiments with one-line descriptions.
+``oneway --nic KIND --size BYTES``
+    Measure a single one-way packet transfer and print its breakdown.
+``trace --cluster KIND --count N [--out FILE]``
+    Generate a synthetic Facebook-cluster trace (CSV to stdout or FILE).
+``targets``
+    Print the paper-target registry with bands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.targets import PAPER_TARGETS
+from repro.experiments.oneway import NIC_KINDS, measure_one_way
+from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.workloads.trace_io import save_trace
+from repro.workloads.traces import ClusterKind, TraceGenerator
+
+EXPERIMENT_BLURBS = {
+    "table1": "system configuration (Table 1)",
+    "fig4": "baseline NIC comparison + pcie.overh (Fig. 4)",
+    "fig5": "iperf bandwidth vs. memory pressure (Fig. 5)",
+    "fig7": "NIC DMA burst locality (Fig. 7)",
+    "fig11": "latency breakdown: dNIC/iNIC/NetDIMM (Fig. 11)",
+    "fig12a": "Facebook-trace replay, normalized latency (Fig. 12a)",
+    "fig12b": "co-runner memory latency under DPI/L3F (Fig. 12b)",
+    "bandwidth": "line-rate check, TX and RX (Sec. 5.2)",
+    "ablation": "design-choice ablations",
+    "transactions": "PCIe transaction census (Sec. 3)",
+    "notification": "polling vs. interrupts (Sec. 2.1)",
+    "kernel_stack": "kernel-stack dilution (Sec. 5.1)",
+    "loaded_latency": "packet latency under host-memory pressure",
+    "feasibility": "TDP budget + per-packet energy (Sec. 4.3)",
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NetDIMM (MICRO 2019) reproduction toolkit",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser("experiments", help="run experiments")
+    run.add_argument("names", nargs="*", help="experiment names (default: all)")
+
+    commands.add_parser("list", help="list available experiments")
+
+    oneway = commands.add_parser("oneway", help="measure one packet transfer")
+    oneway.add_argument("--nic", choices=NIC_KINDS, default="netdimm")
+    oneway.add_argument("--size", type=int, default=256, metavar="BYTES")
+
+    trace = commands.add_parser("trace", help="generate a synthetic trace")
+    trace.add_argument(
+        "--cluster",
+        choices=[cluster.value for cluster in ClusterKind],
+        default="webserver",
+    )
+    trace.add_argument("--count", type=int, default=1000)
+    trace.add_argument("--seed", type=int, default=2019)
+    trace.add_argument("--out", default="-", help="output file ('-' = stdout)")
+
+    commands.add_parser("targets", help="print the paper-target registry")
+    return parser
+
+
+def _cmd_list() -> str:
+    width = max(len(name) for name in EXPERIMENTS)
+    return "\n".join(
+        f"{name:<{width}}  {EXPERIMENT_BLURBS.get(name, '')}" for name in EXPERIMENTS
+    )
+
+
+def _cmd_oneway(nic: str, size: int) -> str:
+    if size <= 0:
+        raise SystemExit("--size must be positive")
+    result = measure_one_way(nic, size)
+    lines = [f"{nic} one-way latency for a {size} B packet: {result.total_us:.2f} us"]
+    for segment, ticks in result.segments.items():
+        lines.append(f"  {segment:<14}{ticks / 1000:>8.0f} ns")
+    return "\n".join(lines)
+
+
+def _cmd_trace(cluster: str, count: int, seed: int, out: str) -> str:
+    generator = TraceGenerator(ClusterKind(cluster), seed=seed)
+    packets = generator.generate(count)
+    if out == "-":
+        lines = ["arrival_ps,size_bytes,locality"]
+        lines.extend(
+            f"{p.arrival},{p.size_bytes},{p.locality.value}" for p in packets
+        )
+        return "\n".join(lines)
+    written = save_trace(packets, out)
+    return f"wrote {written} packets to {out}"
+
+
+def _cmd_targets() -> str:
+    lines = [f"{'target':<40}{'paper':>9}{'band':>18}"]
+    for target in PAPER_TARGETS.values():
+        band = f"[{target.low:g}, {target.high:g}]"
+        lines.append(f"{target.name:<40}{target.paper_value:>9g}{band:>18}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "experiments":
+        output = run_all(args.names or None)
+    elif args.command == "list":
+        output = _cmd_list()
+    elif args.command == "oneway":
+        output = _cmd_oneway(args.nic, args.size)
+    elif args.command == "trace":
+        output = _cmd_trace(args.cluster, args.count, args.seed, args.out)
+    else:  # targets
+        output = _cmd_targets()
+    try:
+        print(output)
+    except BrokenPipeError:  # e.g. `repro targets | head`
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Analysis utilities: table rendering and paper-target checking.
+
+* :mod:`repro.analysis.tables` — plain-text table building shared by
+  the experiment reports.
+* :mod:`repro.analysis.targets` — the paper's quoted quantitative
+  results as a machine-readable registry, with tolerance-banded
+  checking.  The reproduction's integration tests assert against these
+  targets, and ``EXPERIMENTS.md`` is generated from the same source of
+  truth.
+"""
+
+from repro.analysis.charts import bar_chart, series_chart, stacked_bar_chart
+from repro.analysis.statsdump import collect, dump, find_components
+from repro.analysis.tables import Table
+from repro.analysis.targets import PAPER_TARGETS, Target, check_value
+
+__all__ = [
+    "PAPER_TARGETS",
+    "Table",
+    "Target",
+    "bar_chart",
+    "check_value",
+    "collect",
+    "dump",
+    "find_components",
+    "series_chart",
+    "stacked_bar_chart",
+]

@@ -1,0 +1,72 @@
+"""Whole-system statistics collection (gem5-style stats dump).
+
+Every model element derives from :class:`~repro.sim.component.Component`
+and accumulates counters/histograms in its recorder.  After a run, an
+experiment (or a user debugging one) often wants *everything*:
+``collect`` walks an object graph, finds every component, and flattens
+their reports into one ``component.stat -> value`` mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Set
+
+from repro.sim.component import Component
+
+
+def find_components(root: Any, max_depth: int = 6) -> List[Component]:
+    """Every :class:`Component` reachable from ``root``'s attributes.
+
+    Walks plain attributes, lists/tuples, and dict values, depth-bounded
+    and cycle-safe.  ``root`` itself is included if it is a component.
+    """
+    seen: Set[int] = set()
+    found: List[Component] = []
+
+    def visit(obj: Any, depth: int) -> None:
+        if depth < 0 or id(obj) in seen:
+            return
+        seen.add(id(obj))
+        if isinstance(obj, Component):
+            found.append(obj)
+        if isinstance(obj, (list, tuple)):
+            for item in obj:
+                visit(item, depth - 1)
+            return
+        if isinstance(obj, dict):
+            for item in obj.values():
+                visit(item, depth - 1)
+            return
+        attributes = getattr(obj, "__dict__", None)
+        if attributes and (isinstance(obj, Component) or depth == max_depth):
+            for value in attributes.values():
+                visit(value, depth - 1)
+        elif attributes and not isinstance(obj, (str, bytes, int, float)):
+            for value in attributes.values():
+                if isinstance(value, (Component, list, tuple, dict)):
+                    visit(value, depth - 1)
+
+    visit(root, max_depth)
+    return found
+
+
+def collect(root: Any) -> Dict[str, float]:
+    """Flatten every reachable component's stats into one mapping."""
+    flat: Dict[str, float] = {}
+    for component in find_components(root):
+        for stat, value in component.stats.report().items():
+            flat[f"{component.name}.{stat}"] = value
+    return flat
+
+
+def dump(root: Any, only: str = "") -> str:
+    """Human-readable stats dump, optionally filtered by substring."""
+    flat = collect(root)
+    lines = []
+    for key in sorted(flat):
+        if only and only not in key:
+            continue
+        value = flat[key]
+        rendered = f"{value:.3f}".rstrip("0").rstrip(".") if isinstance(value, float) else value
+        lines.append(f"{key:<60} {rendered}")
+    return "\n".join(lines)

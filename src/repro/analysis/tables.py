@@ -1,0 +1,40 @@
+"""Minimal aligned-text table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+class Table:
+    """An aligned plain-text table with a header row."""
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are str()-ed.  Must match column count."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self, padding: int = 2) -> str:
+        """The table as aligned text (left column left-aligned, rest right)."""
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        gap = " " * padding
+
+        def format_row(cells: Sequence[str]) -> str:
+            parts = [f"{cells[0]:<{widths[0]}}"]
+            parts.extend(
+                f"{cell:>{width}}" for cell, width in zip(cells[1:], widths[1:])
+            )
+            return gap.join(parts)
+
+        lines = [format_row(self.columns)]
+        lines.extend(format_row(row) for row in self.rows)
+        return "\n".join(lines)

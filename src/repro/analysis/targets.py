@@ -1,0 +1,233 @@
+"""The paper's quoted results as a machine-checkable registry.
+
+Each :class:`Target` captures one number the paper states, where it
+comes from, and the tolerance band we hold the reproduction to.  The
+bands are generous where the paper's absolute numbers depend on its
+gem5 testbed and tight where the claim is structural (orderings,
+signs, counts).
+
+Integration tests assert these; EXPERIMENTS.md reports measured-vs-
+paper from the same registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Target:
+    """One quoted paper number with its acceptance band."""
+
+    name: str
+    source: str
+    paper_value: float
+    low: float
+    high: float
+    unit: str = ""
+    note: str = ""
+
+    def check(self, measured: float) -> bool:
+        """Whether the measured value falls inside the band."""
+        return self.low <= measured <= self.high
+
+
+def check_value(name: str, measured: float) -> Tuple[bool, Target]:
+    """Check a measurement against the named registry target."""
+    target = PAPER_TARGETS[name]
+    return target.check(measured), target
+
+
+PAPER_TARGETS: Dict[str, Target] = {
+    target.name: target
+    for target in [
+        # ---- Fig. 11 / abstract headline numbers --------------------------
+        Target(
+            name="fig11.improvement_vs_dnic.avg",
+            source="Abstract / Sec. 5.2",
+            paper_value=0.499,
+            low=0.40,
+            high=0.60,
+            note="average one-way latency reduction vs. the PCIe NIC",
+        ),
+        Target(
+            name="fig11.improvement_vs_inic.avg",
+            source="Sec. 5.2",
+            paper_value=0.260,
+            low=0.18,
+            high=0.36,
+            note="average one-way latency reduction vs. the integrated NIC",
+        ),
+        Target(
+            name="fig11.improvement_vs_dnic.64B",
+            source="Sec. 5.2",
+            paper_value=0.461,
+            low=0.36,
+            high=0.56,
+        ),
+        Target(
+            name="fig11.improvement_vs_dnic.256B",
+            source="Sec. 5.2",
+            paper_value=0.523,
+            low=0.42,
+            high=0.62,
+        ),
+        Target(
+            name="fig11.improvement_vs_dnic.1024B",
+            source="Sec. 5.2",
+            paper_value=0.496,
+            low=0.40,
+            high=0.60,
+        ),
+        Target(
+            name="fig11.flush_invalidate_share.64B",
+            source="Sec. 5.2 (9.7-15.8% across sizes)",
+            paper_value=0.10,
+            low=0.05,
+            high=0.20,
+        ),
+        Target(
+            name="fig11.dnic_total_us.64B",
+            source="derived: 0.97us = 46.1% of dNIC's 64 B latency",
+            paper_value=2.10,
+            low=1.6,
+            high=2.7,
+            unit="us",
+        ),
+        Target(
+            name="fig11.netdimm_total_us.64B",
+            source="derived from Sec. 5.2",
+            paper_value=1.13,
+            low=0.85,
+            high=1.5,
+            unit="us",
+        ),
+        # ---- Fig. 4 ---------------------------------------------------------
+        Target(
+            name="fig4.inic_improvement.min",
+            source="Sec. 3: iNIC improves 21.3-38.6% over dNIC",
+            paper_value=0.213,
+            low=0.10,
+            high=0.35,
+            note="smallest iNIC improvement across sizes",
+        ),
+        Target(
+            name="fig4.inic_improvement.max",
+            source="Sec. 3",
+            paper_value=0.386,
+            low=0.28,
+            high=0.48,
+            note="largest iNIC improvement across sizes",
+        ),
+        Target(
+            name="fig4.zcpy_improvement.10B",
+            source="Sec. 3: zcpy improves iNIC by 28.8% at 10 B",
+            paper_value=0.288,
+            low=0.15,
+            high=0.40,
+        ),
+        Target(
+            name="fig4.zcpy_improvement.2000B",
+            source="Sec. 3: zcpy improves iNIC by 52.3% at 2000 B",
+            paper_value=0.523,
+            low=0.35,
+            high=0.62,
+        ),
+        Target(
+            name="fig4.pcie_fraction.10B",
+            source="Sec. 3: PCIe is 40.9% of dNIC.zcpy latency at 10 B",
+            paper_value=0.409,
+            low=0.30,
+            high=0.60,
+        ),
+        Target(
+            name="fig4.pcie_fraction.2000B",
+            source="Sec. 3: PCIe is 34.3% of dNIC.zcpy latency at 2000 B",
+            paper_value=0.343,
+            low=0.20,
+            high=0.50,
+        ),
+        # ---- Fig. 5 ---------------------------------------------------------
+        Target(
+            name="fig5.max_pressure_fraction",
+            source="Sec. 3: iperf delivers ~27.9% of unloaded bandwidth",
+            paper_value=0.279,
+            low=0.15,
+            high=0.45,
+        ),
+        Target(
+            name="fig5.unloaded_gbps",
+            source="40GbE line rate",
+            paper_value=40.0,
+            low=35.0,
+            high=40.0,
+            unit="Gb/s",
+        ),
+        # ---- Fig. 7 ---------------------------------------------------------
+        Target(
+            name="fig7.lines_per_burst",
+            source="Sec. 4.1: 24 cachelines per 1514 B packet",
+            paper_value=24,
+            low=24,
+            high=24,
+        ),
+        Target(
+            name="fig7.third_burst_ns",
+            source="Sec. 4.1: 143 ns for the third packet",
+            paper_value=143,
+            low=100,
+            high=190,
+            unit="ns",
+        ),
+        # ---- Fig. 12(a) -----------------------------------------------------
+        Target(
+            name="fig12a.improvement_vs_dnic.25ns",
+            source="Sec. 5.3: 40.6% at 25 ns switch latency",
+            paper_value=0.406,
+            low=0.25,
+            high=0.50,
+        ),
+        Target(
+            name="fig12a.improvement_vs_dnic.200ns",
+            source="Sec. 5.3: 25.3% at 200 ns switch latency",
+            paper_value=0.253,
+            low=0.15,
+            high=0.40,
+        ),
+        Target(
+            name="fig12a.improvement_vs_inic.max",
+            source="Sec. 5.3: 8.1-15.3% vs. iNIC",
+            paper_value=0.153,
+            low=0.06,
+            high=0.25,
+            note="largest improvement vs. iNIC across switch latencies",
+        ),
+        # ---- Fig. 12(b) ------------------------------------------------------
+        Target(
+            name="fig12b.dpi_worst_penalty",
+            source="Sec. 5.3: DPI 5.7-15.4% higher latency with NetDIMM",
+            paper_value=0.154,
+            low=0.02,
+            high=0.25,
+            note="largest DPI-side penalty across clusters (positive = worse)",
+        ),
+        Target(
+            name="fig12b.l3f_best_improvement",
+            source="Sec. 5.3: L3F 9.8-30.9% lower latency with NetDIMM",
+            paper_value=0.309,
+            low=0.08,
+            high=0.40,
+            note="largest L3F-side improvement across clusters",
+        ),
+        # ---- Sec. 5.2 bandwidth ------------------------------------------------
+        Target(
+            name="bandwidth.netdimm_gbps",
+            source="Sec. 5.2: NetDIMM delivers 40 Gb/s",
+            paper_value=40.0,
+            low=34.0,
+            high=40.5,
+            unit="Gb/s",
+        ),
+    ]
+}

@@ -1,0 +1,133 @@
+"""A latency model of the host cache hierarchy for co-running applications.
+
+Used by the Fig. 12(b) experiment: the co-runner's *memory access
+latency* is the average over its loads of (L1 hit | LLC hit | DRAM round
+trip), where the DRAM round trip is measured live from the shared
+:class:`~repro.dram.controller.MemoryController` and the LLC hit rate is
+degraded by cache pollution from network-packet processing.
+
+Pollution model: each packet line the CPU pulls *through* the LLC
+displaces application working-set lines.  We model the application as
+owning an LLC working set of ``app_ways / total_ways`` of capacity and
+apply the classic occupancy argument: effective LLC hit rate scales
+with the fraction of the application's working set still resident.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import CacheParams
+from repro.units import CACHELINE
+
+
+@dataclass
+class CacheHierarchyModel:
+    """Closed-form average-memory-access-time model for a co-runner.
+
+    Parameters
+    ----------
+    params:
+        Host cache latencies/sizes (Table 1).
+    l1_hit_rate:
+        The co-runner's L1 hit rate (fixed property of the workload).
+    llc_hit_rate_clean:
+        Its LLC hit rate with no interference.
+    working_set_bytes:
+        The co-runner's LLC-resident working set.
+    """
+
+    params: CacheParams
+    l1_hit_rate: float = 0.90
+    llc_hit_rate_clean: float = 0.60
+    working_set_bytes: int = 1_600_000
+
+    def __post_init__(self):
+        self._polluting_lines = 0
+
+    def pollute(self, size_bytes: int) -> None:
+        """Account packet data pulled through the LLC by the CPU."""
+        self._polluting_lines += max(1, -(-size_bytes // CACHELINE))
+
+    def reset_pollution(self) -> None:
+        """Clear accumulated pollution (new measurement window)."""
+        self._polluting_lines = 0
+
+    def resident_fraction(self, window_lines: int) -> float:
+        """Fraction of the app working set still LLC-resident.
+
+        With ``p`` polluting lines injected into an LLC of ``C`` lines
+        during the measurement window, random placement leaves the app
+        roughly ``max(0, 1 - p / C)`` of its lines (linear displacement,
+        saturating at full eviction).
+        """
+        llc_lines = self.params.l2_size // CACHELINE
+        if window_lines <= 0:
+            pollution = self._polluting_lines
+        else:
+            pollution = min(self._polluting_lines, window_lines)
+        return max(0.0, 1.0 - pollution / llc_lines)
+
+    def effective_llc_hit_rate(self, window_lines: int = 0) -> float:
+        """LLC hit rate after pollution in the current window."""
+        return self.llc_hit_rate_clean * self.resident_fraction(window_lines)
+
+    def competition_hit_rate(
+        self,
+        pollution_lines_per_second: float,
+        reuse_seconds: float = 1e-3,
+        capacity_fraction: float = 1.0,
+    ) -> float:
+        """Steady-state LLC hit rate under capacity competition.
+
+        The co-runner's working set of W lines competes for
+        ``capacity_fraction`` of the LLC's C lines (an iNIC's DDIO
+        partition removes ~10%), against a packet-processing stream of
+        ``pollution_lines_per_second`` whose lines live one co-runner
+        reuse interval.  Under random-replacement competition a
+        co-runner line survives to its next reuse (after
+        ``reuse_seconds``) with probability
+
+            C' / (C' + max(0, W - C') + r * tau)
+
+        which is 1.0 for a fitting working set with no pollution and
+        degrades with both capacity loss and pollution pressure.
+        """
+        llc_lines = (self.params.l2_size // CACHELINE) * capacity_fraction
+        working_lines = self.working_set_bytes / CACHELINE
+        overflow = max(0.0, working_lines - llc_lines)
+        pressure = pollution_lines_per_second * reuse_seconds
+        survival = llc_lines / (llc_lines + overflow + pressure)
+        return self.llc_hit_rate_clean * survival
+
+    def beyond_l1_latency(
+        self,
+        dram_latency: float,
+        pollution_lines_per_second: float = 0.0,
+        reuse_seconds: float = 1e-3,
+        capacity_fraction: float = 1.0,
+    ) -> float:
+        """Average latency of the co-runner's L1-missing accesses.
+
+        This is the "memory access latency observed by a co-running
+        application" of Fig. 12(b): LLC hits at LLC latency, misses at
+        the live (queueing-inclusive) DRAM round trip, with the LLC hit
+        rate degraded by packet-data pollution and DDIO capacity loss.
+        """
+        llc_rate = self.competition_hit_rate(
+            pollution_lines_per_second, reuse_seconds, capacity_fraction
+        )
+        return llc_rate * self.params.l2_latency + (1 - llc_rate) * dram_latency
+
+    def average_latency(self, dram_latency: int, window_lines: int = 0) -> float:
+        """Average memory access latency (ticks) for the co-runner.
+
+        ``dram_latency`` is the measured average DRAM round trip on the
+        co-runner's channel (queueing included), taken from the live
+        memory-controller statistics.
+        """
+        llc_rate = self.effective_llc_hit_rate(window_lines)
+        l1 = self.l1_hit_rate * self.params.l1_latency
+        llc = (1 - self.l1_hit_rate) * llc_rate * self.params.l2_latency
+        dram = (1 - self.l1_hit_rate) * (1 - llc_rate) * dram_latency
+        return l1 + llc + dram

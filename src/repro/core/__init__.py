@@ -1,0 +1,33 @@
+"""The NetDIMM buffer device — the paper's primary contribution (Sec. 4.1).
+
+A NetDIMM is a DIMM whose buffer device integrates:
+
+* **nNIC** — a full 40GbE NIC (MAC/PHY facing the network);
+* **nMC** — a local memory controller for the DIMM's own DRAM;
+* **nController** — NVDIMM-P control logic extended with DMA-engine
+  functionality, nNIC-priority arbitration, and header-split handling;
+* **nCache** — a consume-on-read SRAM buffer caching the first
+  cacheline (the headers) of received packets;
+* **nPrefetcher** — a flag-gated next-line prefetcher that streams the
+  payload of a packet into nCache once the host starts reading it;
+* **RowClone engine** — in-memory buffer cloning in FPM / PSM / GCM
+  modes.
+
+:class:`~repro.core.netdimm.NetDIMMDevice` composes all of these and
+implements the asynchronous-device interface consumed by
+:class:`~repro.dram.nvdimmp.AsyncMemoryPort`, so the host reaches it
+exactly the way a DDR5 controller reaches an NVDIMM-P.
+"""
+
+from repro.core.ncache import NCache
+from repro.core.netdimm import NetDIMMDevice
+from repro.core.nprefetcher import NextLinePrefetcher
+from repro.core.rowclone import CloneEngine, CloneMode
+
+__all__ = [
+    "CloneEngine",
+    "CloneMode",
+    "NCache",
+    "NetDIMMDevice",
+    "NextLinePrefetcher",
+]

@@ -1,0 +1,110 @@
+"""nCache: the NetDIMM buffer device's RX SRAM buffer (Sec. 4.1).
+
+nCache is "an inclusive, set associative cache structure" — but with
+three deliberately unusual behaviours the paper specifies:
+
+1. **Consume-on-read.**  Once a host read hits a line, the line is
+   removed: the data is about to live in a host cache or elsewhere in
+   memory, so its nCache copy has no further value.
+2. **Random replacement**, and no writebacks — every line is clean
+   (nCache only ever holds copies of data already in local DRAM).
+3. **A one-bit ``first_line`` flag per line**, set when the line is the
+   first cacheline of a newly received packet (the packet header).  The
+   nPrefetcher checks this flag: header reads do *not* trigger
+   prefetch (header-only network functions must not pollute nCache),
+   while payload reads do.  The flag resets at the line's first access.
+
+Writes never allocate in nCache; instead, the nController snoops write
+addresses from the PHY or nNIC and invalidates matching lines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.cache.cache import ReplacementPolicy, SetAssociativeCache
+from repro.units import CACHELINE
+
+
+class NCache:
+    """Consume-on-read packet buffer with first-line flags."""
+
+    def __init__(self, num_lines: int = 2048, ways: int = 8, seed: int = 1):
+        self._cache = SetAssociativeCache(
+            num_lines=num_lines,
+            ways=ways,
+            policy=ReplacementPolicy.RANDOM,
+            seed=seed,
+        )
+        self.consumed_reads = 0
+        self.header_fills = 0
+        self.prefetch_fills = 0
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total SRAM capacity."""
+        return self._cache.capacity_bytes
+
+    @property
+    def stats(self):
+        """Underlying hit/miss/eviction counters."""
+        return self._cache.stats
+
+    def host_read(self, address: int) -> Tuple[bool, bool]:
+        """A host (PHY-side) read of one cacheline.
+
+        Returns ``(hit, was_first_line)``.  On a hit the line is
+        consumed (removed) — its data is now the host's problem — and
+        the ``first_line`` flag it carried is reported so the caller can
+        gate the prefetcher.
+        """
+        line = self._align(address)
+        if not self._cache.contains(line):
+            self._cache.stats.misses += 1
+            return False, False
+        was_first = self._cache.get_flag(line, "first_line")
+        self._cache.stats.hits += 1
+        self._cache.invalidate(line)
+        # The invalidation above is bookkeeping, not a coherence event.
+        self._cache.stats.invalidations -= 1
+        self.consumed_reads += 1
+        return True, was_first
+
+    def fill_header(self, address: int) -> None:
+        """Insert the first cacheline of a newly received packet."""
+        self._cache.fill(self._align(address), first_line=True)
+        self.header_fills += 1
+
+    def fill_prefetch(self, address: int) -> None:
+        """Insert a prefetched payload cacheline (flag clear)."""
+        self._cache.fill(self._align(address), first_line=False)
+        self.prefetch_fills += 1
+
+    def contains(self, address: int) -> bool:
+        """Presence check without consuming."""
+        return self._cache.contains(self._align(address))
+
+    def snoop_write(self, address: int, size_bytes: int = CACHELINE) -> int:
+        """Invalidate lines overlapping a PHY/nNIC write; returns count.
+
+        This is the coherence mechanism of Sec. 4.1: "nController snoops
+        the addresses of write requests ... and invalidates the matching
+        cachelines in nCache."
+        """
+        first = self._align(address)
+        last = self._align(address + max(size_bytes, 1) - 1)
+        invalidated = 0
+        line = first
+        while line <= last:
+            if self._cache.invalidate(line):
+                invalidated += 1
+            line += CACHELINE
+        return invalidated
+
+    def occupancy(self) -> int:
+        """Valid lines currently buffered."""
+        return self._cache.occupancy()
+
+    @staticmethod
+    def _align(address: int) -> int:
+        return address - (address % CACHELINE)

@@ -1,0 +1,77 @@
+"""nPrefetcher: the flag-gated next-line prefetcher (Sec. 4.1).
+
+An MTU packet spans up to 24 cachelines; when the host copies (or
+clones and later touches) a payload, its reads arrive as a stream of
+consecutive lines — the pattern of Fig. 7.  A next-line prefetcher
+covers it: on a host read of line *L*, prefetch lines *L+1 .. L+n* from
+local DRAM into nCache, so "in the worst case, reading an entire RX
+packet may only experience one nCache miss".
+
+The gate: the prefetcher is *disabled* for reads whose line carried the
+``first_line`` flag (packet headers).  Header-only applications (L3F,
+firewalls) read one line per packet and must not drag 4 more payload
+lines into nCache.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.ncache import NCache
+from repro.sim import Component, Simulator
+from repro.units import CACHELINE
+
+
+class NextLinePrefetcher(Component):
+    """Prefetches the next *n* lines of a host-read stream into nCache."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        ncache: NCache,
+        fetch_line: Callable[[int], object],
+        degree: int = 4,
+    ):
+        """``fetch_line(address)`` must return a Future that completes when
+        the line has been read from local DRAM (the device wires this to
+        an nMC read at PHY priority)."""
+        super().__init__(sim, name)
+        self.ncache = ncache
+        self.fetch_line = fetch_line
+        self.degree = degree
+        self._inflight: set[int] = set()
+
+    def on_host_read(self, address: int, was_first_line: bool) -> int:
+        """Notify the prefetcher of a host read; returns lines launched.
+
+        Called for *every* host read of the packet-buffer space, hit or
+        miss.  Header reads (``was_first_line``) launch nothing.
+        """
+        if was_first_line or self.degree <= 0:
+            self.stats.count("gated" if was_first_line else "disabled")
+            return 0
+        launched = 0
+        line = address - (address % CACHELINE)
+        for step in range(1, self.degree + 1):
+            target = line + step * CACHELINE
+            if self.ncache.contains(target) or target in self._inflight:
+                continue
+            self._inflight.add(target)
+            self.sim.spawn(self._prefetch_body(target), name=f"{self.name}.pf")
+            launched += 1
+        self.stats.count("launched", launched)
+        return launched
+
+    def _prefetch_body(self, address: int):
+        try:
+            yield self.fetch_line(address)
+            self.ncache.fill_prefetch(address)
+            self.stats.count("completed")
+        finally:
+            self._inflight.discard(address)
+
+    @property
+    def inflight(self) -> int:
+        """Prefetches currently outstanding."""
+        return len(self._inflight)

@@ -1,0 +1,170 @@
+"""A host with multiple NetDIMMs (Sec. 4.2.1).
+
+The paper allows any number of NetDIMMs: "a system can have multiple
+NetDIMMs installed on memory channels and each need a different memory
+zone" — NET0, NET1, ... — with each NetDIMM's local memory exposed in
+single-channel mode through flex interleaving (Fig. 10), below which
+the conventional DIMMs interleave normally.
+
+:class:`NetDIMMSystem` composes the pieces: the unified address space
+(ZoneSet + flex AddressMapping), one buffer device + asynchronous host
+port + allocator + allocCache per NetDIMM, and the flow-steering rule
+that pins each connection to the NetDIMM serving it (the ``skb_zone``
+mechanics of Sec. 4.2.2 generalized to several DIMMs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.netdimm import NetDIMMDevice
+from repro.dram.geometry import DRAMGeometry
+from repro.dram.mapping import AddressMapping, FlexRegion, InterleaveMode
+from repro.dram.nvdimmp import AsyncMemoryPort
+from repro.mem.alloc_cache import AllocCache
+from repro.mem.allocator import PageAllocator
+from repro.mem.zones import ZoneSet, standard_layout
+from repro.params import SystemParams
+from repro.sim import Component, Simulator
+from repro.units import mib
+
+
+class NetDIMMSlot:
+    """Everything attached to one NetDIMM: device, port, allocators."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        index: int,
+        zone,
+        params: SystemParams,
+    ):
+        self.index = index
+        self.zone = zone
+        geometry = DRAMGeometry()
+        self.device = NetDIMMDevice(
+            sim, f"{name}.netdimm{index}", params, geometry, zone_base=zone.base
+        )
+        self.port = AsyncMemoryPort(
+            sim,
+            f"{name}.port{index}",
+            self.device,
+            timing=params.netdimm_dram,
+            protocol=params.nvdimmp,
+        )
+        self.allocator = PageAllocator(zone, geometry)
+        self.alloc_cache = AllocCache(
+            sim,
+            f"{name}.alloccache{index}",
+            self.allocator,
+            refill_latency=params.software.alloc_pages_slow,
+        )
+
+
+class NetDIMMSystem(Component):
+    """A server's memory system with N NetDIMMs and M host channels."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        params: Optional[SystemParams] = None,
+        num_netdimms: int = 2,
+        normal_zone_bytes: int = mib(64),
+    ):
+        super().__init__(sim, name)
+        if num_netdimms < 1:
+            raise ValueError("a NetDIMM system needs at least one NetDIMM")
+        self.params = params or SystemParams()
+        geometry = DRAMGeometry()
+        self.zones: ZoneSet = standard_layout(
+            normal_size=normal_zone_bytes,
+            netdimm_sizes=[geometry.capacity_bytes] * num_netdimms,
+        )
+        self.slots: List[NetDIMMSlot] = [
+            NetDIMMSlot(sim, name, index, self.zones.net_zone(index), self.params)
+            for index in range(num_netdimms)
+        ]
+        self.mapping = self._build_mapping(normal_zone_bytes)
+        self._flow_table: Dict[int, int] = {}
+
+    def _build_mapping(self, normal_zone_bytes: int) -> AddressMapping:
+        """Fig. 10: interleaved conventional region, then one
+        single-channel region per NetDIMM.
+
+        Each NetDIMM sits on channel ``index % num_host_channels``; its
+        channel-local base clears the conventional share plus any
+        earlier NetDIMM on the same channel.
+        """
+        channels = tuple(range(self.params.num_host_channels))
+        regions = [
+            FlexRegion(
+                base=0,
+                size=normal_zone_bytes,
+                mode=InterleaveMode.MULTI,
+                channels=channels,
+                channel_bases=tuple(0 for _ in channels),
+            )
+        ]
+        per_channel_share = normal_zone_bytes // len(channels)
+        channel_cursor = {channel: per_channel_share for channel in channels}
+        for slot in self.slots:
+            channel = slot.index % len(channels)
+            regions.append(
+                FlexRegion(
+                    base=slot.zone.base,
+                    size=slot.zone.size,
+                    mode=InterleaveMode.SINGLE,
+                    channels=(channel,),
+                    channel_bases=(channel_cursor[channel],),
+                )
+            )
+            channel_cursor[channel] += slot.zone.size
+        return AddressMapping(regions)
+
+    # -- routing -------------------------------------------------------------
+
+    @property
+    def num_netdimms(self) -> int:
+        """Installed NetDIMM count."""
+        return len(self.slots)
+
+    def slot_of(self, address: int) -> NetDIMMSlot:
+        """The NetDIMM backing a physical address (raises if none)."""
+        zone = self.zones.zone_of(address)
+        if zone.netdimm_index is None:
+            raise ValueError(f"address {address:#x} is in {zone.name}, not a NET zone")
+        return self.slots[zone.netdimm_index]
+
+    def channel_of(self, address: int) -> int:
+        """Which host channel serves a physical address."""
+        channel, _local = self.mapping.route(address)
+        return channel
+
+    # -- flow steering ----------------------------------------------------------
+
+    def netdimm_for_flow(self, flow_id: int) -> NetDIMMSlot:
+        """The NetDIMM serving a flow (sticky hash assignment).
+
+        The first packet of a flow picks the least-loaded NetDIMM (by
+        assigned flows); later packets stick, which is what keeps a
+        connection's SKBs, DMA buffers, and descriptor ring on one
+        zone.
+        """
+        index = self._flow_table.get(flow_id)
+        if index is None:
+            loads = [0] * len(self.slots)
+            for assigned in self._flow_table.values():
+                loads[assigned] += 1
+            index = loads.index(min(loads))
+            self._flow_table[flow_id] = index
+            self.stats.count("flows_assigned")
+        return self.slots[index]
+
+    def flow_balance(self) -> List[int]:
+        """Flows currently assigned per NetDIMM."""
+        loads = [0] * len(self.slots)
+        for index in self._flow_table.values():
+            loads[index] += 1
+        return loads

@@ -1,0 +1,147 @@
+"""Physical-address-to-channel mapping (Sec. 2.3 and Fig. 10).
+
+Systems with several memory channels can map the physical address space
+three ways:
+
+* **single-channel** — sequential addresses stay on one channel;
+* **multi-channel** — sequential addresses interleave across channels at
+  a fixed stride;
+* **flex** — part of the address space is multi-channel-interleaved and
+  part is single-channel.
+
+NetDIMM requires flex mode (Sec. 4.2.1): conventional DIMMs interleave
+for bandwidth, while each NetDIMM's local memory must appear as one
+continuous single-channel chunk because the global channels are not
+visible to the on-DIMM nNIC.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.units import CACHELINE
+
+
+class InterleaveMode(enum.Enum):
+    """How a region of the physical address space maps to channels."""
+
+    SINGLE = "single"
+    MULTI = "multi"
+
+
+@dataclass(frozen=True)
+class FlexRegion:
+    """One contiguous region of the physical address space.
+
+    ``channel_bases[i]`` is the channel-local base address backing this
+    region's slice on ``channels[i]``.
+    """
+
+    base: int
+    size: int
+    mode: InterleaveMode
+    channels: Tuple[int, ...]
+    channel_bases: Tuple[int, ...]
+    stride: int = 256
+    """Interleave granularity for MULTI mode (bytes)."""
+
+    def __post_init__(self):
+        if self.size <= 0:
+            raise ValueError(f"region size must be positive: {self.size}")
+        if not self.channels:
+            raise ValueError("region needs at least one channel")
+        if len(self.channels) != len(self.channel_bases):
+            raise ValueError("channels and channel_bases must align")
+        if self.mode is InterleaveMode.SINGLE and len(self.channels) != 1:
+            raise ValueError("single-channel region must name exactly one channel")
+        if self.stride < CACHELINE or self.stride % CACHELINE:
+            raise ValueError(f"stride must be a multiple of {CACHELINE}: {self.stride}")
+        if self.mode is InterleaveMode.MULTI and self.size % (
+            self.stride * len(self.channels)
+        ):
+            raise ValueError("multi-channel region size must be a whole stripe multiple")
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Whether ``address`` falls inside this region."""
+        return self.base <= address < self.end
+
+    def route(self, address: int) -> Tuple[int, int]:
+        """Map a global physical address to ``(channel, channel_local)``."""
+        if not self.contains(address):
+            raise ValueError(f"address {address:#x} outside region {self.base:#x}+{self.size:#x}")
+        offset = address - self.base
+        if self.mode is InterleaveMode.SINGLE:
+            return self.channels[0], self.channel_bases[0] + offset
+        stripe, within = divmod(offset, self.stride)
+        way = stripe % len(self.channels)
+        local_stripe = stripe // len(self.channels)
+        local = self.channel_bases[way] + local_stripe * self.stride + within
+        return self.channels[way], local
+
+
+class AddressMapping:
+    """The system's flex-mode channel map: an ordered set of regions."""
+
+    def __init__(self, regions: Sequence[FlexRegion]):
+        ordered = sorted(regions, key=lambda region: region.base)
+        for previous, current in zip(ordered, ordered[1:]):
+            if previous.end > current.base:
+                raise ValueError(
+                    f"regions overlap: {previous.base:#x}+{previous.size:#x} and "
+                    f"{current.base:#x}"
+                )
+        self.regions: List[FlexRegion] = list(ordered)
+
+    def region_of(self, address: int) -> FlexRegion:
+        """The region containing ``address`` (raises if unmapped)."""
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        raise ValueError(f"address {address:#x} is not mapped")
+
+    def route(self, address: int) -> Tuple[int, int]:
+        """Map a global physical address to ``(channel, channel_local)``."""
+        return self.region_of(address).route(address)
+
+    def total_mapped(self) -> int:
+        """Total bytes covered by all regions."""
+        return sum(region.size for region in self.regions)
+
+
+def netdimm_flex_mapping(
+    conventional_size: int,
+    netdimm_size: int,
+    num_channels: int = 2,
+    netdimm_channel: int = 0,
+    stride: int = 256,
+) -> AddressMapping:
+    """The Fig. 10 layout: interleaved DDR5 region then single-channel NetDIMM.
+
+    The conventional DIMMs occupy the bottom of the address space in
+    multi-channel mode; the NetDIMM's local memory sits above it in
+    single-channel mode on ``netdimm_channel``.
+    """
+    conventional = FlexRegion(
+        base=0,
+        size=conventional_size,
+        mode=InterleaveMode.MULTI,
+        channels=tuple(range(num_channels)),
+        channel_bases=tuple(0 for _ in range(num_channels)),
+        stride=stride,
+    )
+    per_channel = conventional_size // num_channels
+    netdimm = FlexRegion(
+        base=conventional_size,
+        size=netdimm_size,
+        mode=InterleaveMode.SINGLE,
+        channels=(netdimm_channel,),
+        channel_bases=(per_channel,),
+    )
+    return AddressMapping([conventional, netdimm])

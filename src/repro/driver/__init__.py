@@ -1,0 +1,36 @@
+"""Driver / software-stack models.
+
+The paper evaluates latency with bare-metal drivers that "resemble
+low-latency userspace drivers" (Sec. 5.1).  This package models those
+drivers as simulation processes that issue the same sequence of
+operations a real driver would — copies, flushes, register accesses,
+descriptor production, DMA kicks, poll reads — against the hardware
+models, charging each operation to its Fig. 11 breakdown segment.
+
+* :mod:`repro.driver.skb` — socket buffers, sockets, and the
+  COPY_NEEDED / skb_zone mechanics of Sec. 4.2.2.
+* :mod:`repro.driver.polling` — the polling agent.
+* :mod:`repro.driver.node` — the abstract server-node interface.
+* :mod:`repro.driver.dnic_node` — discrete PCIe NIC (dNIC), with
+  optional zero-copy.
+* :mod:`repro.driver.inic_node` — CPU-integrated NIC (iNIC) with DDIO,
+  with optional zero-copy.
+* :mod:`repro.driver.netdimm_node` — the NetDIMM driver (Alg. 1).
+"""
+
+from repro.driver.dnic_node import DiscreteNICNode
+from repro.driver.inic_node import IntegratedNICNode
+from repro.driver.netdimm_node import NetDIMMNode
+from repro.driver.node import ServerNode
+from repro.driver.polling import PollingAgent
+from repro.driver.skb import SKB, Socket
+
+__all__ = [
+    "DiscreteNICNode",
+    "IntegratedNICNode",
+    "NetDIMMNode",
+    "PollingAgent",
+    "ServerNode",
+    "SKB",
+    "Socket",
+]

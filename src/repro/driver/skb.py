@@ -1,0 +1,78 @@
+"""Socket buffers and the NetDIMM zone-affinity mechanics (Sec. 4.2.2).
+
+A connection's first SKBs are allocated from regular kernel memory
+(connection establishment happens before the driver knows which
+NetDIMM serves the flow), so they carry the ``COPY_NEEDED`` flag and
+take the slow TX path: copy into a NetDIMM DMA buffer first.  The
+NetDIMM driver then records the serving zone in the socket
+(``struct sock``'s new ``skb_zone`` field); every later SKB of the flow
+is allocated directly in that NET zone and transmits on the fast
+(copy-free, flush-only) path.
+
+``COPY_NEEDED`` doubles as the fallback when a NET zone is exhausted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+_socket_ids = itertools.count(1)
+
+
+@dataclass
+class Socket:
+    """The slice of ``struct sock`` the NetDIMM driver cares about."""
+
+    socket_id: int = field(default_factory=lambda: next(_socket_ids))
+    skb_zone: Optional[str] = None
+    """NET zone name serving this connection; None until the first
+    transmission teaches the socket where its NetDIMM is."""
+
+    packets_sent: int = 0
+    packets_received: int = 0
+
+    @property
+    def established_on_netdimm(self) -> bool:
+        """Whether the fast path is available for this connection."""
+        return self.skb_zone is not None
+
+
+@dataclass
+class SKB:
+    """A socket buffer: metadata for one packet's kernel journey."""
+
+    size_bytes: int
+    data_address: int = 0
+    zone_name: str = "ZONE_NORMAL"
+    copy_needed: bool = False
+    socket: Optional[Socket] = None
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError(f"SKB must have positive size: {self.size_bytes}")
+
+
+def allocate_tx_skb(socket: Socket, size_bytes: int, zone_hint_address: int = 0) -> SKB:
+    """Allocate a TX SKB honoring the socket's learned zone.
+
+    Before the first transmission, SKBs come from ZONE_NORMAL with
+    COPY_NEEDED set; afterwards they come from the socket's NET zone and
+    transmit copy-free.
+    """
+    if socket.established_on_netdimm:
+        return SKB(
+            size_bytes=size_bytes,
+            data_address=zone_hint_address,
+            zone_name=socket.skb_zone,
+            copy_needed=False,
+            socket=socket,
+        )
+    return SKB(
+        size_bytes=size_bytes,
+        data_address=zone_hint_address,
+        zone_name="ZONE_NORMAL",
+        copy_needed=True,
+        socket=socket,
+    )

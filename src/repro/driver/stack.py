@@ -1,0 +1,103 @@
+"""The kernel network-stack cost model (Sec. 5.1's caveat).
+
+The paper evaluates latency with bare-metal drivers because "the
+overhead of Linux kernel software stack fades the latency improvements
+of NetDIMM".  This module makes that statement measurable: a per-layer
+cost model for a packet's trip through the kernel TCP/IP stack —
+syscall entry, socket lookup, TCP, IP, qdisc on transmit; NAPI-ish
+dispatch, IP, TCP, socket wakeup, syscall exit on receive — that any
+node model can stack on top of its driver path.
+
+Costs are per-packet constants plus small per-byte terms (checksumming
+is offloaded per the paper's footnote, so bytes are cheap), totalling a
+few microseconds per direction — consistent with measured kernel-stack
+budgets for a warm connection [51].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.units import ns
+
+
+@dataclass(frozen=True)
+class KernelStackParams:
+    """Per-layer kernel costs (one direction each)."""
+
+    syscall: int = ns(250)
+    """send()/recv() syscall entry + exit pair amortized per packet."""
+
+    socket_tx: int = ns(300)
+    """Socket write path: sk buffer queuing, memory accounting."""
+
+    tcp_tx: int = ns(550)
+    """TCP transmit: segmentation decision, header build, cong. control."""
+
+    ip_tx: int = ns(250)
+    """IP transmit: route cache hit, header, netfilter hooks (empty)."""
+
+    qdisc: int = ns(200)
+    """Queueing discipline enqueue/dequeue (pfifo_fast)."""
+
+    napi_rx: int = ns(300)
+    """Softirq dispatch + GRO bookkeeping on receive."""
+
+    ip_rx: int = ns(250)
+    """IP receive: validation, route lookup, netfilter hooks."""
+
+    tcp_rx: int = ns(600)
+    """TCP receive: sequence processing, ACK generation, rcv queue."""
+
+    socket_wakeup: int = ns(350)
+    """Waking the blocked reader (futex/scheduler hop)."""
+
+    per_byte_ps: int = 15
+    """Residual per-byte cost with checksum offload (header touching,
+    skb frag walking): 0.015 ns/B."""
+
+
+class KernelStackModel:
+    """Closed-form kernel-stack overhead for one packet."""
+
+    def __init__(self, params: KernelStackParams = KernelStackParams()):
+        self.params = params
+
+    def tx_overhead(self, size_bytes: int) -> int:
+        """Extra ticks the kernel adds to the transmit path."""
+        fixed = (
+            self.params.syscall
+            + self.params.socket_tx
+            + self.params.tcp_tx
+            + self.params.ip_tx
+            + self.params.qdisc
+        )
+        return fixed + size_bytes * self.params.per_byte_ps
+
+    def rx_overhead(self, size_bytes: int) -> int:
+        """Extra ticks the kernel adds to the receive path."""
+        fixed = (
+            self.params.napi_rx
+            + self.params.ip_rx
+            + self.params.tcp_rx
+            + self.params.socket_wakeup
+            + self.params.syscall
+        )
+        return fixed + size_bytes * self.params.per_byte_ps
+
+    def round_trip_overhead(self, size_bytes: int) -> int:
+        """Kernel cost of one one-way transfer (TX side + RX side)."""
+        return self.tx_overhead(size_bytes) + self.rx_overhead(size_bytes)
+
+    def layer_budget(self, size_bytes: int) -> Dict[str, int]:
+        """Per-layer costs for reporting."""
+        params = self.params
+        return {
+            "syscall(x2)": 2 * params.syscall,
+            "socket": params.socket_tx + params.socket_wakeup,
+            "tcp": params.tcp_tx + params.tcp_rx,
+            "ip": params.ip_tx + params.ip_rx,
+            "qdisc+napi": params.qdisc + params.napi_rx,
+            "per-byte": 2 * size_bytes * params.per_byte_ps,
+        }

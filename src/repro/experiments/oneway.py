@@ -1,0 +1,125 @@
+"""Shared machinery: one-way packet latency between two servers.
+
+Reproduces the paper's primary measurement setup (Sec. 5.2): two nodes
+"directly connected together" by 40GbE, a packet travelling sender
+application → driver → NIC → wire → NIC → driver → receiver
+application, with per-segment accounting.
+
+``measure_one_way`` builds a fresh simulator per measurement so results
+are exactly reproducible and independent.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.driver import DiscreteNICNode, IntegratedNICNode, NetDIMMNode
+from repro.driver.node import ServerNode
+from repro.net import EthernetWire, Packet
+from repro.params import DEFAULT, SystemParams
+from repro.sim import Simulator
+
+NIC_KINDS = ("dnic", "dnic.zcpy", "inic", "inic.zcpy", "netdimm")
+
+
+def make_node(
+    sim: Simulator,
+    name: str,
+    nic_kind: str,
+    params: Optional[SystemParams] = None,
+) -> ServerNode:
+    """Instantiate a server node for one of the five configurations."""
+    params = params or DEFAULT
+    if nic_kind == "dnic":
+        return DiscreteNICNode(sim, name, params, zero_copy=False)
+    if nic_kind == "dnic.zcpy":
+        return DiscreteNICNode(sim, name, params, zero_copy=True)
+    if nic_kind == "inic":
+        return IntegratedNICNode(sim, name, params, zero_copy=False)
+    if nic_kind == "inic.zcpy":
+        return IntegratedNICNode(sim, name, params, zero_copy=True)
+    if nic_kind == "netdimm":
+        return NetDIMMNode(sim, name, params)
+    raise ValueError(f"unknown NIC kind: {nic_kind!r} (expected one of {NIC_KINDS})")
+
+
+@dataclass(frozen=True)
+class OneWayResult:
+    """One measured packet transfer."""
+
+    nic_kind: str
+    size_bytes: int
+    total_ticks: int
+    segments: Dict[str, int]
+
+    @property
+    def total_us(self) -> float:
+        """Total one-way latency in microseconds."""
+        return self.total_ticks / 1e6
+
+    def segment_us(self, name: str) -> float:
+        """One segment's latency in microseconds (0 if absent)."""
+        return self.segments.get(name, 0) / 1e6
+
+    def host_ticks(self) -> int:
+        """Everything except the wire segment (used by trace replay,
+        which substitutes the clos fabric for the point-to-point wire)."""
+        return self.total_ticks - self.segments.get("wire", 0)
+
+
+def measure_one_way(
+    nic_kind: str,
+    size_bytes: int,
+    params: Optional[SystemParams] = None,
+    warm_packets: int = 1,
+) -> OneWayResult:
+    """Measure one packet's one-way latency between two fresh nodes.
+
+    ``warm_packets`` packets are sent first (uncounted) so connections
+    are established (NetDIMM's COPY_NEEDED fast path engages), rings are
+    initialized, and caches hold steady-state contents.
+    """
+    params = params or DEFAULT
+    sim = Simulator()
+    sender = make_node(sim, "tx", nic_kind, params)
+    receiver = make_node(sim, "rx", nic_kind, params)
+    wire = EthernetWire(sim, "wire", params.network)
+
+    def flow(packet: Packet):
+        yield sender.transmit(packet)
+        wire_start = sim.now
+        yield wire.transmit(packet.size_bytes)
+        packet.breakdown.add("wire", sim.now - wire_start)
+        yield receiver.receive(packet)
+        return packet
+
+    for _ in range(warm_packets):
+        warm = Packet(size_bytes=size_bytes)
+        process = sim.spawn(flow(warm))
+        sim.run_until(process.done, max_events=2_000_000)
+
+    packet = Packet(size_bytes=size_bytes)
+    process = sim.spawn(flow(packet))
+    sim.run_until(process.done, max_events=2_000_000)
+    return OneWayResult(
+        nic_kind=nic_kind,
+        size_bytes=size_bytes,
+        total_ticks=packet.breakdown.total,
+        segments=dict(packet.breakdown.segments),
+    )
+
+
+@functools.lru_cache(maxsize=4096)
+def cached_one_way(nic_kind: str, size_bytes: int, switch_latency: Optional[int] = None) -> OneWayResult:
+    """Memoized one-way measurement under the default parameters.
+
+    Trace replay calls this per (config, size bucket); the switch
+    latency does not affect host segments but participates in the key
+    for transparency when callers sweep it.
+    """
+    params = DEFAULT
+    if switch_latency is not None:
+        params = params.with_switch_latency(switch_latency)
+    return measure_one_way(nic_kind, size_bytes, params)

@@ -1,0 +1,71 @@
+"""Run every experiment and print (or save) the full report.
+
+Usage::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig11 fig5 # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Dict, Tuple
+
+from repro.experiments import (
+    ablation,
+    bandwidth,
+    feasibility,
+    fig4,
+    fig5,
+    fig7,
+    fig11,
+    fig12a,
+    fig12b,
+    kernel_stack,
+    loaded_latency,
+    notification,
+    table1,
+    transactions,
+)
+
+EXPERIMENTS: Dict[str, Tuple[Callable[[], object], Callable[[object], str]]] = {
+    "table1": (table1.run, table1.format_report),
+    "fig4": (fig4.run, fig4.format_report),
+    "fig5": (fig5.run, fig5.format_report),
+    "fig7": (fig7.run, fig7.format_report),
+    "fig11": (fig11.run, fig11.format_report),
+    "fig12a": (fig12a.run, fig12a.format_report),
+    "fig12b": (fig12b.run, fig12b.format_report),
+    "bandwidth": (bandwidth.run, bandwidth.format_report),
+    "ablation": (ablation.run, ablation.format_report),
+    "transactions": (transactions.run, transactions.format_report),
+    "notification": (notification.run, notification.format_report),
+    "kernel_stack": (kernel_stack.run, kernel_stack.format_report),
+    "loaded_latency": (loaded_latency.run, loaded_latency.format_report),
+    "feasibility": (feasibility.run, feasibility.format_report),
+}
+
+
+def run_all(names=None) -> str:
+    """Run the named experiments (all by default); returns the report."""
+    names = list(names or EXPERIMENTS)
+    sections = []
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise SystemExit(
+                f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
+            )
+        run, format_report = EXPERIMENTS[name]
+        result = run()
+        sections.append(f"{'=' * 72}\n{format_report(result)}\n")
+    return "\n".join(sections)
+
+
+def main() -> None:
+    """CLI entry point."""
+    names = sys.argv[1:] or None
+    print(run_all(names))
+
+
+if __name__ == "__main__":
+    main()

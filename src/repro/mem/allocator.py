@@ -1,0 +1,192 @@
+"""Page allocation with sub-array affinity (Sec. 4.2.1).
+
+``__alloc_netdimm_pages(zone, hint)`` allocates a page in a NET zone on
+the *same bank and sub-array* as the hint address whenever possible, so
+the in-memory buffer clone between the DMA buffer and the application
+buffer can run in RowClone FPM mode.  The API is best-effort: if the
+hinted sub-array class has no free pages, any page in the zone is
+returned (the clone then degrades to PSM or GCM).
+
+The allocator keeps per-(rank, bank, sub-array)-class state, lazily
+materialized: each class holds at most 256 pages (128 rows x 2 pages per
+8 KB rank-row), tracked as a bump pointer plus a free list of returned
+pages.  This keeps a 16 GB zone's allocator O(classes touched), not
+O(4M pages), and makes both hinted and unhinted allocation O(1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.dram.geometry import DRAMGeometry, RANK_ROW_BYTES, ROWS_PER_SUBARRAY
+from repro.mem.zones import MemoryZone
+from repro.units import PAGE
+
+PAGES_PER_CLASS = ROWS_PER_SUBARRAY * (RANK_ROW_BYTES // PAGE)  # 256
+
+
+class OutOfMemoryError(RuntimeError):
+    """The zone has no free pages at all."""
+
+
+class _ClassState:
+    """Lazy free-page state for one sub-array class."""
+
+    __slots__ = ("next_index", "returned")
+
+    def __init__(self):
+        self.next_index = 0
+        self.returned: List[int] = []
+
+
+class PageAllocator:
+    """Free-page bookkeeping for one memory zone.
+
+    For NET zones, pass the NetDIMM's :class:`DRAMGeometry` so pages are
+    bucketed by (rank, bank, sub-array); addresses handed out are global
+    physical addresses (zone base + DIMM-local offset).  For ordinary
+    zones pass ``geometry=None`` and the allocator degenerates to a bump
+    pointer + free list over the whole zone.
+    """
+
+    def __init__(self, zone: MemoryZone, geometry: Optional[DRAMGeometry] = None):
+        self.zone = zone
+        self.geometry = geometry
+        if geometry is not None and zone.size > geometry.capacity_bytes:
+            raise ValueError(
+                f"zone {zone.name} ({zone.size:#x}) larger than DIMM "
+                f"({geometry.capacity_bytes:#x})"
+            )
+        self._classes: Dict[int, _ClassState] = {}
+        self._class_rotation: Deque[int] = deque()
+        self._allocated: set[int] = set()
+        self.free_pages = zone.num_pages
+        if geometry is None:
+            self._rotation_initialized = True
+            self._class_rotation.append(0)
+            self._total_classes = 1
+        else:
+            self._rotation_initialized = False
+            self._total_classes = geometry.subarray_classes
+
+    # -- address <-> class arithmetic -----------------------------------------
+
+    def class_of(self, address: int) -> int:
+        """Sub-array class of an address in this zone."""
+        if self.geometry is None:
+            return 0
+        return self.geometry.decode(address - self.zone.base).subarray_class
+
+    def _page_of_class(self, subarray_class: int, index: int) -> Optional[int]:
+        """Global address of the ``index``-th page in a class, or None if
+        the page falls outside the zone."""
+        if self.geometry is None:
+            address = self.zone.base + index * PAGE
+            return address if address < self.zone.end else None
+        from repro.dram.geometry import BANKS_PER_RANK, SUBARRAYS_PER_BANK
+
+        rank_bank, subarray = divmod(subarray_class, SUBARRAYS_PER_BANK)
+        rank, bank = divmod(rank_bank, BANKS_PER_RANK)
+        row, row_half = divmod(index, 2)
+        local = self.geometry.encode(rank, bank, subarray, row, row_half)
+        address = self.zone.base + local
+        return address if address < self.zone.end else None
+
+    def _pages_in_class(self, subarray_class: int) -> int:
+        if self.geometry is None:
+            return self.zone.num_pages
+        return PAGES_PER_CLASS
+
+    # -- allocation --------------------------------------------------------------
+
+    @property
+    def allocated_pages(self) -> int:
+        """Pages currently handed out."""
+        return len(self._allocated)
+
+    def subarray_classes(self) -> int:
+        """Distinct sub-array classes this zone can draw from."""
+        return self._total_classes
+
+    def alloc_page(self, hint: Optional[int] = None) -> int:
+        """Allocate one page; with ``hint`` prefer the hint's sub-array.
+
+        This is ``__alloc_netdimm_pages(zone, hint)``: pass ``hint=None``
+        (the paper's hint = -1) to only honor the zone constraint.
+        Returns the page's global physical address.
+
+        Raises :class:`OutOfMemoryError` when the zone is exhausted.
+        """
+        if self.free_pages == 0:
+            raise OutOfMemoryError(f"zone {self.zone.name} exhausted")
+        address = None
+        if hint is not None and self.zone.contains(hint):
+            address = self.alloc_page_in_class(self.class_of(hint))
+        if address is None:
+            address = self._pop_any()
+        return address
+
+    def alloc_page_in_class(self, subarray_class: int) -> Optional[int]:
+        """Allocate a page from a specific sub-array class, or None if empty.
+
+        Used both by hinted allocation and by the allocCache refill loop,
+        which wants exactly one page per class.
+        """
+        state = self._classes.get(subarray_class)
+        if state is None:
+            state = _ClassState()
+            self._classes[subarray_class] = state
+        if state.returned:
+            address = state.returned.pop()
+        else:
+            address = None
+            limit = self._pages_in_class(subarray_class)
+            while state.next_index < limit:
+                candidate = self._page_of_class(subarray_class, state.next_index)
+                state.next_index += 1
+                if candidate is not None:
+                    address = candidate
+                    break
+            if address is None:
+                return None
+        self._allocated.add(address)
+        self.free_pages -= 1
+        return address
+
+    def _ensure_rotation(self) -> None:
+        if not self._rotation_initialized:
+            self._class_rotation.extend(range(self._total_classes))
+            self._rotation_initialized = True
+
+    def _pop_any(self) -> int:
+        self._ensure_rotation()
+        attempts = len(self._class_rotation)
+        while attempts and self._class_rotation:
+            subarray_class = self._class_rotation[0]
+            address = self.alloc_page_in_class(subarray_class)
+            if address is not None:
+                # Rotate so consecutive unhinted allocations spread over
+                # classes (keeps banks balanced, like page interleaving).
+                self._class_rotation.rotate(-1)
+                return address
+            self._class_rotation.popleft()
+            attempts -= 1
+        raise OutOfMemoryError(f"zone {self.zone.name} exhausted")
+
+    def free_page(self, address: int) -> None:
+        """Return a page to the free lists."""
+        if address not in self._allocated:
+            raise ValueError(f"double free or foreign page: {address:#x}")
+        self._allocated.remove(address)
+        subarray_class = self.class_of(address)
+        state = self._classes.get(subarray_class)
+        if state is None:
+            state = _ClassState()
+            self._classes[subarray_class] = state
+        state.returned.append(address)
+        self.free_pages += 1
+
+    def same_subarray(self, address_a: int, address_b: int) -> bool:
+        """FPM-eligibility test between two addresses in this zone."""
+        return self.class_of(address_a) == self.class_of(address_b)

@@ -1,0 +1,26 @@
+"""Network substrate: packets, Ethernet wire model, switches, clos fabric.
+
+* :mod:`repro.net.packet` — the packet object (sizes, headers, latency
+  breakdown accounting).
+* :mod:`repro.net.link` — 40GbE wire model: serialization, MAC/PHY
+  pipeline, propagation.
+* :mod:`repro.net.switch` — per-hop switch latency model.
+* :mod:`repro.net.topology` — the Facebook-style multi-tier clos fabric
+  (on networkx) with traffic-locality path resolution used by the
+  Fig. 12(a) trace replay.
+"""
+
+from repro.net.link import EthernetWire
+from repro.net.packet import Breakdown, Packet, TCP_IP_HEADER_BYTES
+from repro.net.switch import Switch
+from repro.net.topology import ClosTopology, Locality
+
+__all__ = [
+    "Breakdown",
+    "ClosTopology",
+    "EthernetWire",
+    "Locality",
+    "Packet",
+    "Switch",
+    "TCP_IP_HEADER_BYTES",
+]

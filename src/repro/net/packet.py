@@ -1,0 +1,135 @@
+"""Packets and per-segment latency accounting.
+
+A :class:`Packet` carries only metadata — sizes, addresses, flow
+identity — because the simulator tracks *where* bytes move and *when*,
+never their contents.  Each packet also carries a :class:`Breakdown`
+that the driver and device models fill in, segment by segment, with the
+exact component labels of the paper's Fig. 11: ``txCopy``, ``txFlush``,
+``ioreg``, ``txDMA``, ``wire``, ``rxDMA``, ``rxInvalidate``, ``rxCopy``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.units import CACHELINE, cachelines
+
+TCP_IP_HEADER_BYTES = 52
+"""Maximum TCP/IP header size (Sec. 4.1: "The maximum header size of a
+TCP/IP packet is 52 Bytes"), which is why caching only the first 64 B
+cacheline of a received packet captures all headers."""
+
+FIG11_SEGMENTS = (
+    "txCopy",
+    "txFlush",
+    "ioreg",
+    "txDMA",
+    "wire",
+    "rxDMA",
+    "rxInvalidate",
+    "rxCopy",
+)
+"""Latency segments, in path order, matching the paper's Fig. 11 legend
+(the paper shows "I/O reg acc" as one bar; we label it ``ioreg``)."""
+
+_packet_ids = itertools.count(1)
+
+
+class Breakdown:
+    """Accumulated per-segment latency for one packet (ticks)."""
+
+    __slots__ = ("segments",)
+
+    def __init__(self):
+        self.segments: Dict[str, int] = {}
+
+    def add(self, segment: str, ticks: int) -> None:
+        """Charge ``ticks`` to ``segment``."""
+        if ticks < 0:
+            raise ValueError(f"negative segment time: {segment}={ticks}")
+        self.segments[segment] = self.segments.get(segment, 0) + ticks
+
+    def get(self, segment: str) -> int:
+        """Ticks charged to ``segment`` so far."""
+        return self.segments.get(segment, 0)
+
+    @property
+    def total(self) -> int:
+        """Sum over all segments."""
+        return sum(self.segments.values())
+
+    def fraction(self, segment: str) -> float:
+        """Share of the total charged to ``segment``."""
+        total = self.total
+        if total == 0:
+            return 0.0
+        return self.get(segment) / total
+
+    def merged(self, other: "Breakdown") -> "Breakdown":
+        """A new breakdown with both sets of charges."""
+        result = Breakdown()
+        for segment, ticks in self.segments.items():
+            result.add(segment, ticks)
+        for segment, ticks in other.segments.items():
+            result.add(segment, ticks)
+        return result
+
+    def as_dict(self) -> Dict[str, int]:
+        """Copy of the segment map, in Fig. 11 order then extras."""
+        ordered: Dict[str, int] = {}
+        for segment in FIG11_SEGMENTS:
+            if segment in self.segments:
+                ordered[segment] = self.segments[segment]
+        for segment, ticks in self.segments.items():
+            if segment not in ordered:
+                ordered[segment] = ticks
+        return ordered
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v / 1000:.0f}ns" for k, v in self.as_dict().items())
+        return f"Breakdown({parts})"
+
+
+@dataclass
+class Packet:
+    """One network packet's metadata."""
+
+    size_bytes: int
+    """Total packet size on the wire before Ethernet framing overhead
+    (i.e. headers + payload, the x-axis of Fig. 4 / Fig. 11)."""
+
+    src: str = ""
+    dst: str = ""
+    flow_id: int = 0
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    header_bytes: int = TCP_IP_HEADER_BYTES
+    dma_address: Optional[int] = None
+    """Where the packet's DMA buffer lives (filled by the driver)."""
+
+    app_address: Optional[int] = None
+    """Where the application buffer lives (filled by the driver)."""
+
+    copy_needed: bool = False
+    """The SKB COPY_NEEDED flag (Sec. 4.2.2): set for packets whose data
+    was not allocated on the serving NetDIMM's zone (connection setup or
+    zone-exhaustion fallback), forcing the slow copy path in Alg. 1."""
+
+    breakdown: Breakdown = field(default_factory=Breakdown)
+
+    def __post_init__(self):
+        if self.size_bytes <= 0:
+            raise ValueError(f"packet must have positive size: {self.size_bytes}")
+
+    @property
+    def num_cachelines(self) -> int:
+        """Cachelines the packet occupies (1–24 for MTU-sized packets,
+        matching Fig. 7's 24-line bursts for 1514 B packets)."""
+        return cachelines(self.size_bytes)
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes past the first cacheline — what header-split leaves in
+        NetDIMM-local DRAM when only headers go to the host."""
+        return max(0, self.size_bytes - CACHELINE)

@@ -1,0 +1,69 @@
+"""Switch model.
+
+The paper's dist-gem5 switch model [58] reduces to a per-hop forwarding
+latency (Table 1: 100 ns default; Fig. 12(a) sweeps 25–200 ns) plus the
+egress link's serialization.  We model a cut-through switch: forwarding
+starts after the header is in, so per-hop cost is the switch latency
+plus one egress serialization (shared egress ports queue).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.params import NetworkParams
+from repro.sim import Component, Future, Resource, Simulator
+from repro.units import transfer_time
+
+
+class Switch(Component):
+    """A named switch with contended egress ports."""
+
+    def __init__(self, sim: Simulator, name: str, params: Optional[NetworkParams] = None):
+        super().__init__(sim, name)
+        self.params = params or NetworkParams()
+        self._egress_ports: Dict[str, Resource] = {}
+
+    def _egress(self, port: str) -> Resource:
+        resource = self._egress_ports.get(port)
+        if resource is None:
+            resource = Resource(self.sim, name=f"{self.name}.{port}")
+            self._egress_ports[port] = resource
+        return resource
+
+    def hop_latency(self, size_bytes: int) -> int:
+        """Closed-form unloaded per-hop latency (cut-through).
+
+        Switch pipeline + egress serialization of the framed packet +
+        egress cable propagation.
+        """
+        framed = max(size_bytes, self.params.min_frame_bytes) + (
+            self.params.ethernet_overhead_bytes
+        )
+        return (
+            self.params.switch_latency
+            + transfer_time(framed, self.params.link_bytes_per_ps)
+            + self.params.propagation
+        )
+
+    def forward(self, size_bytes: int, egress_port: str) -> Future:
+        """Event-driven forwarding through a (possibly contended) port."""
+        done = self.sim.future()
+        self.sim.spawn(
+            self._forward_body(size_bytes, egress_port, done),
+            name=f"{self.name}.fwd",
+        )
+        return done
+
+    def _forward_body(self, size_bytes: int, egress_port: str, done: Future):
+        start = self.now
+        yield self.params.switch_latency
+        framed = max(size_bytes, self.params.min_frame_bytes) + (
+            self.params.ethernet_overhead_bytes
+        )
+        serialization = transfer_time(framed, self.params.link_bytes_per_ps)
+        yield from self._egress(egress_port).use(serialization)
+        yield self.params.propagation
+        self.stats.count("forwarded")
+        self.stats.sample("hop_ns", (self.now - start) / 1000)
+        done.set_result(None)

@@ -1,0 +1,32 @@
+"""NIC device models.
+
+* :mod:`repro.nic.descriptor` — TX/RX descriptor rings (Sec. 2.1): the
+  circular buffers through which driver and NIC produce/consume packets
+  at different rates.
+* :mod:`repro.nic.registers` — NIC register files with
+  interconnect-dependent access cost (PCIe MMIO vs. on-die vs. memory
+  channel), the source of the "I/O reg acc" segment.
+* :mod:`repro.nic.dma` — the DMA engine's memory-access behaviour,
+  including the burst-pattern generator behind Fig. 7.
+"""
+
+from repro.nic.descriptor import Descriptor, DescriptorRing, RingFullError
+from repro.nic.dma import DMABurstTrace, dma_burst_trace
+from repro.nic.registers import (
+    MemoryChannelRegisterFile,
+    OnDieRegisterFile,
+    PCIeRegisterFile,
+    RegisterFile,
+)
+
+__all__ = [
+    "Descriptor",
+    "DescriptorRing",
+    "DMABurstTrace",
+    "MemoryChannelRegisterFile",
+    "OnDieRegisterFile",
+    "PCIeRegisterFile",
+    "RegisterFile",
+    "RingFullError",
+    "dma_burst_trace",
+]

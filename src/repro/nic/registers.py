@@ -1,0 +1,149 @@
+"""NIC register files and their interconnect-dependent access costs.
+
+The "I/O reg acc" segment of Fig. 11 is where the three architectures
+differ most for small packets:
+
+* **PCIe NIC** — a register *read* is a blocking non-posted round trip
+  over the link (~0.5–1 us); a register *write* posts but still costs
+  the CPU a write-combining drain.
+* **integrated NIC** — registers sit on the die; accesses cost tens of
+  cycles.
+* **NetDIMM** — registers are reached over the memory channel with the
+  NVDIMM-P asynchronous protocol: far faster than PCIe, slightly slower
+  than on-die ("polling NetDIMM is more efficient than polling a PCIe
+  NIC", Sec. 4.2.2).
+
+Every register file exposes the same pair of process-style operations
+so driver models are interconnect-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.params import NVDIMMPParams, DRAMTimingParams
+from repro.pcie.link import PCIeLink
+from repro.sim import Component, Simulator
+from repro.units import ns
+
+
+class RegisterFile(Component):
+    """Base register file: a named map of integer registers.
+
+    Subclasses define the *timing* of access; the value storage is
+    shared so driver and device models observe each other's writes.
+    """
+
+    def __init__(self, sim: Simulator, name: str):
+        super().__init__(sim, name)
+        self._values: Dict[str, int] = {}
+
+    def peek(self, register: str) -> int:
+        """Zero-time read for device-internal logic."""
+        return self._values.get(register, 0)
+
+    def poke(self, register: str, value: int) -> None:
+        """Zero-time write for device-internal logic."""
+        self._values[register] = value
+
+    def read(self, register: str):
+        """Process-style timed CPU read: ``value = yield from rf.read(r)``."""
+        raise NotImplementedError
+
+    def write(self, register: str, value: int):
+        """Process-style timed CPU write: ``yield from rf.write(r, v)``.
+
+        The generator completes when the CPU may continue (posted writes
+        release the CPU before the device observes the value; the model
+        applies the value at CPU-release time, which is conservative for
+        polled drivers).
+        """
+        raise NotImplementedError
+
+
+class PCIeRegisterFile(RegisterFile):
+    """Registers behind a PCIe link (the discrete NIC)."""
+
+    def __init__(self, sim: Simulator, name: str, link: PCIeLink):
+        super().__init__(sim, name)
+        self.link = link
+
+    def read(self, register: str):
+        start = self.now
+        yield self.link.mmio_read()
+        self.stats.count("reads")
+        self.stats.sample("read_ns", (self.now - start) / 1000)
+        return self.peek(register)
+
+    def write(self, register: str, value: int):
+        yield self.link.mmio_write_cpu_cost()
+        # The TLP continues to the device asynchronously.
+        self.link.mmio_write()
+        self.poke(register, value)
+        self.stats.count("writes")
+
+
+class OnDieRegisterFile(RegisterFile):
+    """Registers of a CPU-integrated NIC: uncached on-die access."""
+
+    def __init__(self, sim: Simulator, name: str, access_latency: int = ns(20)):
+        super().__init__(sim, name)
+        self.access_latency = access_latency
+
+    def read(self, register: str):
+        yield self.access_latency
+        self.stats.count("reads")
+        return self.peek(register)
+
+    def write(self, register: str, value: int):
+        yield self.access_latency
+        self.poke(register, value)
+        self.stats.count("writes")
+
+
+class MemoryChannelRegisterFile(RegisterFile):
+    """NetDIMM registers reached over the memory channel.
+
+    A read is one asynchronous NVDIMM-P transaction against the buffer
+    device's register space (no DRAM media access — the buffer device
+    answers immediately, so RDY follows XRD after the controller
+    pipeline).  A write is a posted channel write.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        timing: DRAMTimingParams,
+        protocol: NVDIMMPParams,
+        ncontroller_latency: int,
+    ):
+        super().__init__(sim, name)
+        self.timing = timing
+        self.protocol = protocol
+        self.ncontroller_latency = ncontroller_latency
+
+    def register_read_latency(self) -> int:
+        """Closed-form cost of one register read."""
+        return (
+            self.timing.tCMD
+            + self.protocol.xrd_cost
+            + self.ncontroller_latency
+            + self.protocol.rdy_to_send
+            + self.protocol.send_to_data
+            + self.timing.tBURST
+        )
+
+    def register_write_latency(self) -> int:
+        """Closed-form CPU-side cost of one posted register write."""
+        return self.timing.tCMD + self.protocol.write_post_cost + self.timing.tBURST
+
+    def read(self, register: str):
+        yield self.register_read_latency()
+        self.stats.count("reads")
+        return self.peek(register)
+
+    def write(self, register: str, value: int):
+        yield self.register_write_latency()
+        self.poke(register, value)
+        self.stats.count("writes")

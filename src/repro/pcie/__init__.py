@@ -1,0 +1,15 @@
+"""PCIe interconnect model.
+
+An analytical TLP-level model of a PCIe link in the style the paper
+cites: Neugebauer et al., "Understanding PCIe performance for end host
+networking" [59], and Alian et al.'s gem5 PCIe model [20].  It produces
+per-transaction latencies (posted writes, non-posted reads, MMIO
+accesses) and bandwidth-limited bulk DMA transfer times, including the
+per-TLP protocol overhead that makes PCIe the latency bottleneck the
+paper is attacking.
+"""
+
+from repro.pcie.link import PCIeLink
+from repro.pcie.tlp import TLPModel
+
+__all__ = ["PCIeLink", "TLPModel"]

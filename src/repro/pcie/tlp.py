@@ -1,0 +1,76 @@
+"""Transaction-layer-packet arithmetic for PCIe transfers.
+
+Implements the wire-overhead model of [59] Sec. 2/3: every TLP carries
+physical-layer framing, a data-link-layer sequence number and LCRC, and
+a transaction-layer header; payloads are segmented at the link's MPS
+(writes/completions) or MRRS (read requests).  The *usable* fraction of
+raw link bandwidth follows directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import PCIeParams
+
+
+@dataclass(frozen=True)
+class TLPModel:
+    """Byte-accurate TLP segmentation for one link configuration."""
+
+    params: PCIeParams
+
+    @property
+    def raw_bytes_per_ps(self) -> float:
+        """Raw link bandwidth after encoding (bytes per picosecond)."""
+        lane_bytes_per_s = (
+            self.params.gts_per_lane * 1e9 * self.params.encoding_efficiency / 8
+        )
+        return self.params.lanes * lane_bytes_per_s / 1e12
+
+    def data_tlp_count(self, size_bytes: int) -> int:
+        """Number of data-bearing TLPs for a payload of ``size_bytes``."""
+        if size_bytes <= 0:
+            return 0
+        return -(-size_bytes // self.params.max_payload_size)
+
+    def read_request_count(self, size_bytes: int) -> int:
+        """Number of read-request TLPs to fetch ``size_bytes`` (MRRS split)."""
+        if size_bytes <= 0:
+            return 0
+        return -(-size_bytes // self.params.max_read_request_size)
+
+    def wire_bytes(self, size_bytes: int) -> int:
+        """Bytes on the wire for a data transfer, including TLP overhead."""
+        return size_bytes + self.data_tlp_count(size_bytes) * self.params.tlp_header_bytes
+
+    def header_only_bytes(self) -> int:
+        """Bytes on the wire for a header-only TLP (read request, doorbell)."""
+        # A header-only TLP still carries framing + seq + header + LCRC,
+        # plus the 4-byte (1 DW) minimum that doorbell writes move.
+        return self.params.tlp_header_bytes + 4
+
+    def protocol_overhead_fraction(self, size_bytes: int) -> float:
+        """Fraction of wire bytes that is protocol overhead, not payload."""
+        wire = self.wire_bytes(size_bytes)
+        if wire == 0:
+            return 0.0
+        return 1 - size_bytes / wire
+
+    def effective_bytes_per_ps(self, size_bytes: int) -> float:
+        """Goodput for payloads of the given size."""
+        wire = self.wire_bytes(size_bytes)
+        if wire == 0 or size_bytes <= 0:
+            return self.raw_bytes_per_ps
+        return self.raw_bytes_per_ps * size_bytes / wire
+
+    def serialization_ticks(self, size_bytes: int) -> int:
+        """Time to serialize a data transfer (payload + TLP overhead)."""
+        wire = self.wire_bytes(size_bytes)
+        if wire == 0:
+            return 0
+        return max(1, round(wire / self.raw_bytes_per_ps))
+
+    def header_serialization_ticks(self) -> int:
+        """Time to serialize one header-only TLP."""
+        return max(1, round(self.header_only_bytes() / self.raw_bytes_per_ps))

@@ -1,0 +1,298 @@
+"""The event loop: simulator clock, callback events, futures, processes.
+
+Design notes
+------------
+
+The simulator keeps a single binary heap of ``(time, seq, action)``
+entries.  ``seq`` is a monotonically increasing counter so that two events
+scheduled for the same tick fire in the order they were scheduled; this is
+what makes whole-system runs byte-for-byte deterministic.
+
+Processes are plain Python generators.  A process may yield:
+
+* an ``int`` — sleep for that many ticks;
+* a :class:`Future` — suspend until the future completes, receiving the
+  future's value as the result of the ``yield``;
+* ``None`` — yield the floor (resume in the same tick, after already
+  scheduled same-tick events).
+
+A process's ``return`` value becomes the result of its ``done`` future, so
+processes compose: a parent can ``yield child.done``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+ProcessBody = Generator[Any, Any, Any]
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (not for model errors)."""
+
+
+class Future:
+    """A one-shot completion token.
+
+    A future starts pending, and exactly once transitions to done with a
+    value (or an exception).  Processes wait on it by yielding it;
+    callbacks subscribe with :meth:`add_callback`.
+    """
+
+    __slots__ = ("sim", "_done", "_value", "_exception", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._done = False
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._callbacks: list[Callable[["Future"], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether the future has completed."""
+        return self._done
+
+    @property
+    def value(self) -> Any:
+        """The completed value.  Raises if still pending or failed."""
+        if not self._done:
+            raise SimulationError("future is still pending")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    def set_result(self, value: Any = None) -> None:
+        """Complete the future; wakes all waiters in subscription order."""
+        if self._done:
+            raise SimulationError("future already completed")
+        self._done = True
+        self._value = value
+        self._fire()
+
+    def set_exception(self, exc: BaseException) -> None:
+        """Fail the future; waiters see the exception raised at the yield."""
+        if self._done:
+            raise SimulationError("future already completed")
+        self._done = True
+        self._exception = exc
+        self._fire()
+
+    def add_callback(self, fn: Callable[["Future"], None]) -> None:
+        """Run ``fn(self)`` when done (immediately if already done)."""
+        if self._done:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def _fire(self) -> None:
+        callbacks, self._callbacks = self._callbacks, []
+        for fn in callbacks:
+            fn(self)
+
+
+class Process:
+    """A generator-based cooperative process.
+
+    Created via :meth:`Simulator.spawn`.  The process's eventual return
+    value (or exception) is exposed through :attr:`done`, itself a
+    :class:`Future`.
+    """
+
+    __slots__ = ("sim", "name", "body", "done", "_started")
+
+    def __init__(self, sim: "Simulator", body: ProcessBody, name: str = ""):
+        self.sim = sim
+        self.name = name or getattr(body, "__name__", "process")
+        self.body = body
+        self.done = Future(sim)
+        self._started = False
+
+    def _step(self, send_value: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                yielded = self.body.throw(throw)
+            else:
+                yielded = self.body.send(send_value)
+        except StopIteration as stop:
+            self.done.set_result(stop.value)
+            return
+        except BaseException as exc:  # model bug: propagate through done
+            self.done.set_exception(exc)
+            return
+        self._dispatch(yielded)
+
+    def _dispatch(self, yielded: Any) -> None:
+        if yielded is None:
+            self.sim.schedule(0, self._step)
+        elif isinstance(yielded, int):
+            if yielded < 0:
+                self._step(throw=SimulationError(f"negative delay: {yielded}"))
+                return
+            self.sim.schedule(yielded, self._step)
+        elif isinstance(yielded, Future):
+            yielded.add_callback(self._resume_from_future)
+        elif isinstance(yielded, Process):
+            yielded.done.add_callback(self._resume_from_future)
+        else:
+            self._step(
+                throw=SimulationError(
+                    f"process {self.name!r} yielded unsupported {yielded!r}"
+                )
+            )
+
+    def _resume_from_future(self, future: Future) -> None:
+        # Defer the resumption through the event queue: a future's
+        # completion must never run waiter code re-entrantly inside the
+        # completer (e.g. a Resource.release handing off mid-release).
+        self.sim.schedule(0, self._resume_now, future)
+
+    def _resume_now(self, future: Future) -> None:
+        try:
+            value = future.value
+        except BaseException as exc:
+            self._step(throw=exc)
+            return
+        self._step(send_value=value)
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    The clock is an integer tick counter (picoseconds by convention, see
+    :mod:`repro.units`).  Use :meth:`schedule` for callback events,
+    :meth:`spawn` for processes, and :meth:`run` to execute.
+    """
+
+    def __init__(self):
+        self._now = 0
+        self._seq = 0
+        self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
+        self._events_fired = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in ticks."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still in the queue."""
+        return len(self._queue)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` ticks."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
+
+    def schedule_at(self, when: int, fn: Callable[..., None], *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute tick ``when``."""
+        self.schedule(when - self._now, fn, *args)
+
+    def future(self) -> Future:
+        """Create a pending future bound to this simulator."""
+        return Future(self)
+
+    def completed(self, value: Any = None) -> Future:
+        """Create an already-completed future (handy for fast paths)."""
+        future = Future(self)
+        future.set_result(value)
+        return future
+
+    def spawn(self, body: ProcessBody, name: str = "") -> Process:
+        """Start a process; its first step runs at the current tick."""
+        process = Process(self, body, name)
+        self.schedule(0, process._step)
+        return process
+
+    def spawn_at(self, when: int, body: ProcessBody, name: str = "") -> Process:
+        """Start a process at absolute tick ``when``."""
+        process = Process(self, body, name)
+        self.schedule_at(when, process._step)
+        return process
+
+    def timeout(self, delay: int, value: Any = None) -> Future:
+        """A future that completes ``delay`` ticks from now."""
+        future = Future(self)
+        self.schedule(delay, future.set_result, value)
+        return future
+
+    def all_of(self, futures: Iterable[Future]) -> Future:
+        """A future completing when every input has completed.
+
+        The combined value is the list of individual values, in input
+        order.  An empty input completes immediately with ``[]``.
+        """
+        futures = list(futures)
+        combined = Future(self)
+        remaining = len(futures)
+        if remaining == 0:
+            combined.set_result([])
+            return combined
+
+        def on_done(_finished: Future) -> None:
+            nonlocal remaining
+            remaining -= 1
+            if remaining == 0:
+                combined.set_result([f.value for f in futures])
+
+        for future in futures:
+            future.add_callback(on_done)
+        return combined
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Execute events until the queue drains or limits are hit.
+
+        ``until`` is an absolute tick: events scheduled strictly after it
+        stay queued and the clock is left at ``until``.  ``max_events``
+        bounds the number of events executed in this call (a guard against
+        accidental infinite event loops in tests).
+
+        Returns the simulated time at exit.
+        """
+        executed = 0
+        while self._queue:
+            when, _seq, fn, args = self._queue[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            if max_events is not None and executed >= max_events:
+                return self._now
+            heapq.heappop(self._queue)
+            self._now = when
+            self._events_fired += 1
+            executed += 1
+            fn(*args)
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until(self, future: Future, max_events: Optional[int] = None) -> Any:
+        """Run until ``future`` completes and return its value.
+
+        Raises :class:`SimulationError` if the event queue drains first.
+        """
+        executed = 0
+        while not future.done:
+            if not self._queue:
+                raise SimulationError("event queue drained before future completed")
+            if max_events is not None and executed >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+            when, _seq, fn, args = heapq.heappop(self._queue)
+            self._now = when
+            self._events_fired += 1
+            executed += 1
+            fn(*args)
+        return future.value

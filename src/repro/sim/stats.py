@@ -1,0 +1,209 @@
+"""Statistics primitives: counters, scalar samplers, and histograms.
+
+Every hardware model collects its statistics through a
+:class:`StatRecorder` so that experiment code can pull a uniform
+name → value report out of a finished simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class Histogram:
+    """A streaming sample accumulator with exact percentile support.
+
+    Keeps every sample (the experiments here run at most a few hundred
+    thousand samples, so exactness is cheap and avoids binning decisions).
+    """
+
+    __slots__ = ("name", "_samples", "_sorted")
+
+    def __init__(self, name: str = "histogram"):
+        self.name = name
+        self._samples: List[float] = []
+        self._sorted = True
+
+    def record(self, value: float) -> None:
+        """Add one sample."""
+        if self._samples and value < self._samples[-1]:
+            self._sorted = False
+        self._samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add many samples."""
+        for value in values:
+            self.record(value)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def count(self) -> int:
+        """Number of recorded samples."""
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Sum of all samples."""
+        return math.fsum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return self.total / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample (raises on empty)."""
+        return min(self._samples)
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample (raises on empty)."""
+        return max(self._samples)
+
+    @property
+    def stdev(self) -> float:
+        """Population standard deviation (0.0 with fewer than 2 samples)."""
+        n = len(self._samples)
+        if n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(math.fsum((x - mean) ** 2 for x in self._samples) / n)
+
+    def percentile(self, p: float) -> float:
+        """Exact percentile ``p`` in [0, 100] by linear interpolation."""
+        if not self._samples:
+            raise ValueError("percentile of empty histogram")
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile out of range: {p}")
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = (p / 100) * (len(self._samples) - 1)
+        low = int(rank)
+        high = min(low + 1, len(self._samples) - 1)
+        fraction = rank - low
+        return self._samples[low] * (1 - fraction) + self._samples[high] * fraction
+
+    @property
+    def median(self) -> float:
+        """The 50th percentile."""
+        return self.percentile(50)
+
+    def summary(self) -> Dict[str, float]:
+        """Dictionary of the common summary statistics."""
+        if not self._samples:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+        }
+
+
+class TimeWeighted:
+    """A time-weighted average of a piecewise-constant signal.
+
+    Used for utilization-style statistics (queue depth over time, channel
+    busy fraction).  Call :meth:`update` whenever the value changes.
+    """
+
+    __slots__ = ("_value", "_last_time", "_weighted_sum", "_start_time")
+
+    def __init__(self, initial: float = 0.0, start_time: int = 0):
+        self._value = initial
+        self._last_time = start_time
+        self._start_time = start_time
+        self._weighted_sum = 0.0
+
+    def update(self, now: int, value: float) -> None:
+        """Record that the signal becomes ``value`` at tick ``now``."""
+        if now < self._last_time:
+            raise ValueError("time went backwards")
+        self._weighted_sum += self._value * (now - self._last_time)
+        self._value = value
+        self._last_time = now
+
+    def average(self, now: int) -> float:
+        """Time-weighted mean over [start, now]."""
+        elapsed = now - self._start_time
+        if elapsed <= 0:
+            return self._value
+        pending = self._value * (now - self._last_time)
+        return (self._weighted_sum + pending) / elapsed
+
+
+class StatRecorder:
+    """A named bag of counters, scalars, and histograms.
+
+    Components attach one recorder each; experiments flatten recorders
+    into report rows.
+    """
+
+    def __init__(self, owner: str = ""):
+        self.owner = owner
+        self.counters: Dict[str, int] = {}
+        self.scalars: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def set_scalar(self, name: str, value: float) -> None:
+        """Record/overwrite scalar ``name``."""
+        self.scalars[name] = value
+
+    def sample(self, name: str, value: float) -> None:
+        """Add a sample to histogram ``name`` (created on first use)."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = Histogram(name=f"{self.owner}.{name}" if self.owner else name)
+            self.histograms[name] = histogram
+        histogram.record(value)
+
+    def get_counter(self, name: str) -> int:
+        """Counter value (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created empty if absent)."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(
+                name=f"{self.owner}.{name}" if self.owner else name
+            )
+        return self.histograms[name]
+
+    def report(self) -> Dict[str, float]:
+        """Flatten everything into one name → number mapping."""
+        flat: Dict[str, float] = {}
+        for name, value in self.counters.items():
+            flat[name] = value
+        for name, value in self.scalars.items():
+            flat[name] = value
+        for name, histogram in self.histograms.items():
+            for stat, value in histogram.summary().items():
+                flat[f"{name}.{stat}"] = value
+        return flat
+
+
+def weighted_mean(pairs: Iterable[Tuple[float, float]]) -> Optional[float]:
+    """Mean of ``(value, weight)`` pairs, or None if total weight is 0."""
+    total_value = 0.0
+    total_weight = 0.0
+    for value, weight in pairs:
+        total_value += value * weight
+        total_weight += weight
+    if total_weight == 0:
+        return None
+    return total_value / total_weight

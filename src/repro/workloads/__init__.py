@@ -1,0 +1,31 @@
+"""Workloads: traces, memory-pressure injection, bandwidth drivers, NFs.
+
+* :mod:`repro.workloads.traces` — synthetic Facebook-cluster packet
+  traces matching the published size/locality distributions (Sec. 5.1,
+  [60]).
+* :mod:`repro.workloads.mlc` — an Intel-MLC-style memory request
+  injector for the Fig. 5 interference study.
+* :mod:`repro.workloads.iperf` — a closed-loop TCP-bandwidth driver
+  whose per-packet memory footprint contends with MLC.
+* :mod:`repro.workloads.netfuncs` — the L3 Forwarding and Deep Packet
+  Inspection network functions of Sec. 5.3, plus the co-running
+  application memory probe.
+"""
+
+from repro.workloads.iperf import IperfModel
+from repro.workloads.mlc import MLCInjector
+from repro.workloads.netfuncs import NetworkFunction, CoRunnerProbe
+from repro.workloads.trace_io import load_trace, save_trace
+from repro.workloads.traces import ClusterKind, TraceGenerator, TracePacket
+
+__all__ = [
+    "ClusterKind",
+    "CoRunnerProbe",
+    "IperfModel",
+    "MLCInjector",
+    "NetworkFunction",
+    "TraceGenerator",
+    "TracePacket",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,100 @@
+"""Network functions and the co-running application probe (Sec. 5.3).
+
+The paper picks the two extremes of the packet-processing spectrum:
+
+* **L3F** (L3 forwarding) — forwards packets using only header fields.
+  The CPU touches one cacheline per packet; the payload never needs to
+  reach the processor.
+* **DPI** (deep packet inspection) — the forwarding decision depends on
+  the payload, so the CPU streams every cacheline of every packet.
+
+"Any other application falls between these two."
+
+For Fig. 12(b), a co-running application shares the server: it issues
+its own memory accesses on the host channel that the NetDIMM occupies
+and owns an LLC working set.  Its observed memory access latency moves
+with (a) queueing on that shared channel and (b) LLC pollution from
+packet processing.  :class:`CoRunnerProbe` measures exactly that, and
+:class:`NetworkFunction` generates the per-packet CPU/memory behaviour
+of each NF under each NIC architecture.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from typing import Optional
+
+from repro.sim import Component, Resource, Simulator
+from repro.units import cachelines, ns
+
+
+class NetworkFunction(enum.Enum):
+    """The two packet-processing extremes of Sec. 5.3."""
+
+    L3F = "l3f"
+    DPI = "dpi"
+
+    def lines_touched(self, packet_bytes: int) -> int:
+        """Cachelines the CPU reads per packet of this size."""
+        if self is NetworkFunction.L3F:
+            return 1
+        return cachelines(packet_bytes)
+
+
+class CoRunnerProbe(Component):
+    """A latency-measuring memory workload on the shared host channel.
+
+    Issues dependent loads (pointer-chase style, like Intel MLC's
+    latency mode): each access waits for the previous one, so measured
+    latency includes every queueing effect on the channel.  The channel
+    is represented by a shared bus :class:`Resource` plus a fixed DRAM
+    media latency, which is how the Fig. 12(b) experiment couples the
+    probe to NetDIMM/NF traffic on the same physical channel.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        channel_bus: Resource,
+        media_latency: int = ns(45),
+        bus_occupancy: int = ns(4),
+        think_time: int = ns(120),
+        seed: int = 11,
+    ):
+        super().__init__(sim, name)
+        self.channel_bus = channel_bus
+        self.media_latency = media_latency
+        self.bus_occupancy = bus_occupancy
+        self.think_time = think_time
+        self._rng = random.Random(seed)
+        self._stop = False
+
+    def start(self) -> None:
+        """Begin probing."""
+        self._stop = False
+        self.sim.spawn(self._probe_body(), name=f"{self.name}.probe")
+
+    def stop(self) -> None:
+        """Stop after the in-flight access."""
+        self._stop = True
+
+    def _probe_body(self):
+        while not self._stop:
+            start = self.sim.now
+            # Command + data beats occupy the shared channel; the media
+            # access itself overlaps other banks' work.
+            yield from self.channel_bus.use(self.bus_occupancy)
+            yield self.media_latency
+            yield from self.channel_bus.use(self.bus_occupancy)
+            self.stats.sample("dram_latency_ns", (self.sim.now - start) / 1000)
+            self.stats.count("accesses")
+            yield self.think_time
+
+    def mean_dram_latency(self) -> Optional[float]:
+        """Mean measured DRAM round trip (ns), or None if no samples."""
+        histogram = self.stats.histograms.get("dram_latency_ns")
+        if histogram is None or histogram.count == 0:
+            return None
+        return histogram.mean

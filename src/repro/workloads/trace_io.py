@@ -1,0 +1,79 @@
+"""Trace persistence: save/load packet traces as CSV.
+
+The paper replays traces captured from production clusters; users of
+this library may have their own captures.  The on-disk format is a
+plain CSV — ``arrival_ps,size_bytes,locality`` — so traces can come
+from anywhere (a tcpdump post-processor, a spreadsheet, another
+simulator) and the synthetic generators' output can be archived for
+exact re-runs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.net.topology import Locality
+from repro.workloads.traces import TracePacket
+
+HEADER = ("arrival_ps", "size_bytes", "locality")
+
+_LOCALITY_BY_VALUE = {locality.value: locality for locality in Locality}
+
+
+def save_trace(packets: Iterable[TracePacket], path: Union[str, Path]) -> int:
+    """Write packets to ``path``; returns the number written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(HEADER)
+        for packet in packets:
+            writer.writerow(
+                [packet.arrival, packet.size_bytes, packet.locality.value]
+            )
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[TracePacket]:
+    """Read a trace CSV written by :func:`save_trace` (or by hand).
+
+    Validates the header, types, and value ranges; raises ``ValueError``
+    with the offending line number on malformed input.
+    """
+    path = Path(path)
+    packets: List[TracePacket] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None or tuple(header) != HEADER:
+            raise ValueError(
+                f"{path}: expected header {','.join(HEADER)!r}, got {header!r}"
+            )
+        previous_arrival = -1
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != 3:
+                raise ValueError(f"{path}:{line_number}: expected 3 fields, got {len(row)}")
+            try:
+                arrival = int(row[0])
+                size = int(row[1])
+            except ValueError as error:
+                raise ValueError(f"{path}:{line_number}: {error}") from None
+            if size <= 0:
+                raise ValueError(f"{path}:{line_number}: non-positive size {size}")
+            if arrival < previous_arrival:
+                raise ValueError(
+                    f"{path}:{line_number}: arrivals must be non-decreasing"
+                )
+            locality = _LOCALITY_BY_VALUE.get(row[2])
+            if locality is None:
+                raise ValueError(f"{path}:{line_number}: unknown locality {row[2]!r}")
+            packets.append(
+                TracePacket(size_bytes=size, locality=locality, arrival=arrival)
+            )
+            previous_arrival = arrival
+    return packets

@@ -1,0 +1,142 @@
+"""Synthetic Facebook-cluster traces (Sec. 5.1).
+
+The paper replays traces from three Facebook production clusters [42],
+characterized in "Inside the Social Network's (Datacenter) Network"
+[60].  The trace files themselves are not redistributable, but the
+paper uses exactly three published properties, which we synthesize:
+
+* **database** — packet sizes uniformly distributed between 64 B and
+  1514 B; traffic mostly inter-cluster and inter-datacenter.
+* **webserver** — ~90% of packets smaller than 300 B; traffic mostly
+  intra-datacenter (inter-cluster).
+* **hadoop** — bimodal: ~41% of packets under 100 B, ~52% at the
+  1514 B MTU; traffic intra-cluster.
+
+Generation is fully seeded, so every experiment sees the same trace.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.topology import Locality
+
+
+class ClusterKind(enum.Enum):
+    """The three Facebook production cluster types."""
+
+    DATABASE = "database"
+    WEBSERVER = "webserver"
+    HADOOP = "hadoop"
+
+
+@dataclass(frozen=True)
+class TracePacket:
+    """One replayed packet: size, locality, arrival offset."""
+
+    size_bytes: int
+    locality: Locality
+    arrival: int
+    """Arrival time offset in ticks from trace start."""
+
+
+LOCALITY_MIX: Dict[ClusterKind, Dict[Locality, float]] = {
+    # Sec. 5.1: database is mostly inter-cluster and inter-datacenter,
+    # webserver mostly inter-cluster but intra-datacenter, hadoop
+    # intra-cluster.
+    ClusterKind.DATABASE: {
+        Locality.INTRA_RACK: 0.05,
+        Locality.INTRA_CLUSTER: 0.15,
+        Locality.INTRA_DATACENTER: 0.40,
+        Locality.INTER_DATACENTER: 0.40,
+    },
+    ClusterKind.WEBSERVER: {
+        Locality.INTRA_RACK: 0.05,
+        Locality.INTRA_CLUSTER: 0.20,
+        Locality.INTRA_DATACENTER: 0.70,
+        Locality.INTER_DATACENTER: 0.05,
+    },
+    ClusterKind.HADOOP: {
+        Locality.INTRA_RACK: 0.30,
+        Locality.INTRA_CLUSTER: 0.60,
+        Locality.INTRA_DATACENTER: 0.09,
+        Locality.INTER_DATACENTER: 0.01,
+    },
+}
+
+MTU_BYTES = 1514
+MIN_PACKET = 64
+
+
+class TraceGenerator:
+    """Seeded synthetic trace source for one cluster type."""
+
+    def __init__(self, cluster: ClusterKind, seed: int = 2019):
+        self.cluster = cluster
+        # Derive the per-cluster stream deterministically (str hashes are
+        # randomized per process, so hash() must not be used here).
+        cluster_index = list(ClusterKind).index(cluster)
+        self._rng = random.Random(seed * 1000 + cluster_index)
+
+    def packet_size(self) -> int:
+        """Draw one packet size from the cluster's distribution."""
+        rng = self._rng
+        if self.cluster is ClusterKind.DATABASE:
+            return rng.randint(MIN_PACKET, MTU_BYTES)
+        if self.cluster is ClusterKind.WEBSERVER:
+            # ~90% below 300 B, the rest spread up to MTU.
+            if rng.random() < 0.90:
+                return rng.randint(MIN_PACKET, 299)
+            return rng.randint(300, MTU_BYTES)
+        # hadoop: ~41% < 100 B, ~52% = MTU, remainder in between.
+        roll = rng.random()
+        if roll < 0.41:
+            return rng.randint(MIN_PACKET, 99)
+        if roll < 0.41 + 0.52:
+            return MTU_BYTES
+        return rng.randint(100, MTU_BYTES - 1)
+
+    def locality(self) -> Locality:
+        """Draw one destination locality from the cluster's mix."""
+        roll = self._rng.random()
+        cumulative = 0.0
+        mix = LOCALITY_MIX[self.cluster]
+        for locality, share in mix.items():
+            cumulative += share
+            if roll < cumulative:
+                return locality
+        return list(mix)[-1]
+
+    def generate(
+        self, count: int, mean_interarrival: int = 1_000_000
+    ) -> List[TracePacket]:
+        """Generate ``count`` packets with exponential interarrivals.
+
+        ``mean_interarrival`` is in ticks (default 1 us, a moderately
+        loaded node).
+        """
+        packets: List[TracePacket] = []
+        now = 0
+        for _ in range(count):
+            now += max(1, round(self._rng.expovariate(1.0 / mean_interarrival)))
+            packets.append(
+                TracePacket(
+                    size_bytes=self.packet_size(),
+                    locality=self.locality(),
+                    arrival=now,
+                )
+            )
+        return packets
+
+    def size_histogram(self, count: int = 10_000) -> Dict[str, float]:
+        """Sanity-check summary of the size distribution."""
+        sizes = [self.packet_size() for _ in range(count)]
+        return {
+            "under_100": sum(1 for s in sizes if s < 100) / count,
+            "under_300": sum(1 for s in sizes if s < 300) / count,
+            "at_mtu": sum(1 for s in sizes if s == MTU_BYTES) / count,
+            "mean": sum(sizes) / count,
+        }

@@ -1,0 +1,24 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.params import SystemParams
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def params() -> SystemParams:
+    """The default (Table 1) system parameters."""
+    return SystemParams()
+
+
+def run_process(sim: Simulator, body, max_events: int = 1_000_000):
+    """Spawn a process and run the simulator until it finishes."""
+    process = sim.spawn(body)
+    return sim.run_until(process.done, max_events=max_events)

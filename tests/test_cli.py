@@ -1,0 +1,83 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENT_BLURBS, main
+from repro.experiments.runner import EXPERIMENTS
+from repro.workloads.trace_io import load_trace
+
+
+class TestList:
+    def test_lists_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_blurbs_cover_registry(self):
+        assert set(EXPERIMENT_BLURBS) == set(EXPERIMENTS)
+
+
+class TestOneway:
+    def test_default_netdimm(self, capsys):
+        assert main(["oneway"]) == 0
+        out = capsys.readouterr().out
+        assert "netdimm one-way latency" in out
+        assert "txFlush" in out
+
+    def test_explicit_config(self, capsys):
+        main(["oneway", "--nic", "dnic", "--size", "64"])
+        out = capsys.readouterr().out
+        assert "dnic" in out
+        assert "txFlush" not in out  # dNIC has no flush segment
+
+    def test_invalid_nic_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["oneway", "--nic", "carrier-pigeon"])
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["oneway", "--size", "0"])
+
+
+class TestTrace:
+    def test_stdout_csv(self, capsys):
+        main(["trace", "--cluster", "hadoop", "--count", "5"])
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        assert lines[0] == "arrival_ps,size_bytes,locality"
+        assert len(lines) == 6
+
+    def test_file_output_loadable(self, tmp_path, capsys):
+        path = tmp_path / "trace.csv"
+        main(["trace", "--cluster", "database", "--count", "20", "--out", str(path)])
+        assert "wrote 20 packets" in capsys.readouterr().out
+        assert len(load_trace(path)) == 20
+
+    def test_seed_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.csv", tmp_path / "b.csv"
+        main(["trace", "--count", "50", "--seed", "7", "--out", str(a)])
+        main(["trace", "--count", "50", "--seed", "7", "--out", str(b)])
+        assert a.read_text() == b.read_text()
+
+
+class TestTargets:
+    def test_prints_registry(self, capsys):
+        main(["targets"])
+        out = capsys.readouterr().out
+        assert "fig11.improvement_vs_dnic.avg" in out
+        assert "[0.4, 0.6]" in out
+
+
+class TestExperiments:
+    def test_single_cheap_experiment(self, capsys):
+        assert main(["experiments", "fig7"]) == 0
+        assert "Fig. 7" in capsys.readouterr().out
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "fig99"])
+
+    def test_no_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

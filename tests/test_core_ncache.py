@@ -1,0 +1,123 @@
+"""nCache semantics: consume-on-read, flags, snooping (Sec. 4.1)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.ncache import NCache
+from repro.units import CACHELINE
+
+
+@pytest.fixture
+def ncache():
+    return NCache(num_lines=2048, ways=8)
+
+
+class TestConsumeOnRead:
+    def test_miss_on_empty(self, ncache):
+        hit, was_first = ncache.host_read(0x1000)
+        assert not hit
+        assert not was_first
+
+    def test_hit_after_header_fill(self, ncache):
+        ncache.fill_header(0x1000)
+        hit, was_first = ncache.host_read(0x1000)
+        assert hit
+        assert was_first
+
+    def test_line_consumed_by_read(self, ncache):
+        """The defining nCache behaviour: data is removed once accessed."""
+        ncache.fill_header(0x1000)
+        ncache.host_read(0x1000)
+        hit, _ = ncache.host_read(0x1000)
+        assert not hit
+
+    def test_prefetch_fill_flag_clear(self, ncache):
+        ncache.fill_prefetch(0x2000)
+        hit, was_first = ncache.host_read(0x2000)
+        assert hit
+        assert not was_first
+
+    def test_contains_nondestructive(self, ncache):
+        ncache.fill_header(0x1000)
+        assert ncache.contains(0x1000)
+        assert ncache.contains(0x1000)  # still there
+
+    def test_unaligned_addresses_align_to_line(self, ncache):
+        ncache.fill_header(0x1010)
+        hit, _ = ncache.host_read(0x1030)  # same 64 B line
+        assert hit
+
+    def test_consumed_reads_counted(self, ncache):
+        ncache.fill_header(0)
+        ncache.host_read(0)
+        assert ncache.consumed_reads == 1
+
+    def test_fill_counters(self, ncache):
+        ncache.fill_header(0)
+        ncache.fill_prefetch(64)
+        assert ncache.header_fills == 1
+        assert ncache.prefetch_fills == 1
+
+
+class TestSnooping:
+    def test_write_invalidates_matching_lines(self, ncache):
+        """Sec. 4.1: nController snoops writes to keep nCache coherent."""
+        ncache.fill_header(0x1000)
+        invalidated = ncache.snoop_write(0x1000, CACHELINE)
+        assert invalidated == 1
+        assert not ncache.contains(0x1000)
+
+    def test_multi_line_snoop(self, ncache):
+        for i in range(4):
+            ncache.fill_prefetch(0x1000 + i * CACHELINE)
+        invalidated = ncache.snoop_write(0x1000, 4 * CACHELINE)
+        assert invalidated == 4
+
+    def test_snoop_misaligned_range_covers_overlap(self, ncache):
+        ncache.fill_prefetch(0x1000)
+        ncache.fill_prefetch(0x1040)
+        # A write starting mid-line and ending mid-line touches both.
+        assert ncache.snoop_write(0x1020, 64) == 2
+
+    def test_snoop_absent_lines_zero(self, ncache):
+        assert ncache.snoop_write(0x9000, 512) == 0
+
+
+class TestCapacityAndReplacement:
+    def test_capacity(self):
+        assert NCache(num_lines=2048, ways=8).capacity_bytes == 128 * 1024
+
+    def test_occupancy_tracks_fills(self, ncache):
+        for i in range(10):
+            ncache.fill_header(i * CACHELINE)
+        assert ncache.occupancy() == 10
+
+    def test_replacement_bounded_by_capacity(self):
+        ncache = NCache(num_lines=64, ways=8)
+        for i in range(1000):
+            ncache.fill_prefetch(i * CACHELINE)
+        assert ncache.occupancy() <= 64
+
+    def test_random_replacement_deterministic(self):
+        def run():
+            ncache = NCache(num_lines=16, ways=8)
+            for i in range(100):
+                ncache.fill_prefetch(i * CACHELINE)
+            return [ncache.contains(i * CACHELINE) for i in range(100)]
+
+        assert run() == run()
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=300))
+    def test_read_after_fill_consistency(self, line_indices):
+        ncache = NCache(num_lines=2048, ways=8)
+        filled = set()
+        for index in line_indices:
+            address = index * CACHELINE
+            ncache.fill_prefetch(address)
+            filled.add(address)
+        # Every line we filled (capacity is ample here) hits exactly once.
+        for address in filled:
+            hit, _ = ncache.host_read(address)
+            assert hit
+            hit_again, _ = ncache.host_read(address)
+            assert not hit_again

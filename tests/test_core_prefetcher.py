@@ -1,0 +1,104 @@
+"""nPrefetcher: flag-gated next-line prefetch (Sec. 4.1)."""
+
+import pytest
+
+from repro.core.ncache import NCache
+from repro.core.nprefetcher import NextLinePrefetcher
+from repro.units import CACHELINE, ns
+
+
+class Harness:
+    def __init__(self, sim, degree=4, fetch_latency=ns(30)):
+        self.sim = sim
+        self.ncache = NCache(num_lines=2048, ways=8)
+        self.fetched = []
+        self.fetch_latency = fetch_latency
+        self.prefetcher = NextLinePrefetcher(
+            sim, "pf", self.ncache, fetch_line=self._fetch, degree=degree
+        )
+
+    def _fetch(self, address):
+        self.fetched.append(address)
+        return self.sim.timeout(self.fetch_latency)
+
+
+@pytest.fixture
+def harness(sim):
+    return Harness(sim)
+
+
+class TestGating:
+    def test_header_read_launches_nothing(self, sim, harness):
+        """Header (first_line) reads must not pollute nCache."""
+        launched = harness.prefetcher.on_host_read(0x1000, was_first_line=True)
+        assert launched == 0
+        sim.run()
+        assert harness.fetched == []
+
+    def test_payload_read_launches_next_lines(self, sim, harness):
+        launched = harness.prefetcher.on_host_read(0x1000, was_first_line=False)
+        assert launched == 4
+        sim.run()
+        assert harness.fetched == [0x1040, 0x1080, 0x10C0, 0x1100]
+
+    def test_degree_zero_disables(self, sim):
+        harness = Harness(sim, degree=0)
+        assert harness.prefetcher.on_host_read(0x1000, False) == 0
+
+    def test_gated_counter(self, sim, harness):
+        harness.prefetcher.on_host_read(0, was_first_line=True)
+        assert harness.prefetcher.stats.get_counter("gated") == 1
+
+
+class TestFilling:
+    def test_prefetched_lines_land_in_ncache(self, sim, harness):
+        harness.prefetcher.on_host_read(0x1000, False)
+        sim.run()
+        for offset in range(1, 5):
+            assert harness.ncache.contains(0x1000 + offset * CACHELINE)
+
+    def test_prefetched_lines_carry_clear_flag(self, sim, harness):
+        harness.prefetcher.on_host_read(0x1000, False)
+        sim.run()
+        hit, was_first = harness.ncache.host_read(0x1040)
+        assert hit and not was_first
+
+    def test_already_cached_lines_skipped(self, sim, harness):
+        harness.ncache.fill_prefetch(0x1040)
+        launched = harness.prefetcher.on_host_read(0x1000, False)
+        assert launched == 3  # 0x1040 already present
+
+    def test_inflight_deduplicated(self, sim, harness):
+        harness.prefetcher.on_host_read(0x1000, False)
+        launched_second = harness.prefetcher.on_host_read(0x1000, False)
+        assert launched_second == 0  # all four still in flight
+        assert harness.prefetcher.inflight == 4
+        sim.run()
+        assert harness.prefetcher.inflight == 0
+
+    def test_streaming_reads_stay_one_step_ahead(self, sim, harness):
+        """The Sec. 4.1 claim: reading a whole packet takes at most one
+        nCache miss once the prefetcher is engaged."""
+        base = 0x4000
+        misses = 0
+        for line in range(24):
+            address = base + line * CACHELINE
+            hit, was_first = harness.ncache.host_read(address)
+            if not hit:
+                misses += 1
+            harness.prefetcher.on_host_read(address, was_first)
+            sim.run()  # let prefetches complete between consumer reads
+        assert misses == 1
+
+    def test_fetch_failure_clears_inflight(self, sim):
+        harness = Harness(sim)
+
+        def failing_fetch(address):
+            future = sim.future()
+            sim.schedule(10, future.set_exception, RuntimeError("nMC error"))
+            return future
+
+        harness.prefetcher.fetch_line = failing_fetch
+        harness.prefetcher.on_host_read(0x1000, False)
+        sim.run()
+        assert harness.prefetcher.inflight == 0

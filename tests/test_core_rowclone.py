@@ -1,0 +1,122 @@
+"""RowClone engine: mode selection and the Fig. 8 cost hierarchy."""
+
+import pytest
+
+from repro.core.rowclone import CloneEngine, CloneMode
+from repro.dram.controller import MemoryController
+from repro.dram.geometry import DRAMGeometry
+from repro.params import NetDIMMParams, ddr5_4800
+from repro.sim import Simulator
+from repro.units import PAGE
+
+
+@pytest.fixture
+def engine(sim):
+    geometry = DRAMGeometry(ranks=2)
+    nmc = MemoryController(sim, "nmc", ddr5_4800(), geometry)
+    return CloneEngine(sim, "clone", geometry, nmc)
+
+
+class Addresses:
+    geometry = DRAMGeometry(ranks=2)
+    src = geometry.encode(rank=0, bank=0, subarray=0, row=0)
+    same_subarray = geometry.encode(rank=0, bank=0, subarray=0, row=10)
+    same_rank = geometry.encode(rank=0, bank=5, subarray=100, row=10)
+    other_rank = geometry.encode(rank=1, bank=5, subarray=100, row=10)
+
+
+class TestModeSelection:
+    def test_same_subarray_is_fpm(self, engine):
+        assert engine.classify(Addresses.src, Addresses.same_subarray) is CloneMode.FPM
+
+    def test_same_rank_is_psm(self, engine):
+        assert engine.classify(Addresses.src, Addresses.same_rank) is CloneMode.PSM
+
+    def test_cross_rank_is_gcm(self, engine):
+        assert engine.classify(Addresses.src, Addresses.other_rank) is CloneMode.GCM
+
+    def test_zone_base_offsets_applied(self, sim):
+        geometry = DRAMGeometry(ranks=2)
+        nmc = MemoryController(sim, "nmc", ddr5_4800(), geometry)
+        engine = CloneEngine(sim, "clone", geometry, nmc, zone_base=1 << 30)
+        base = 1 << 30
+        assert engine.classify(
+            base + Addresses.src, base + Addresses.same_subarray
+        ) is CloneMode.FPM
+
+
+class TestCostHierarchy:
+    """FPM fastest, GCM slowest (Sec. 4.1)."""
+
+    def test_latency_estimates_ordered(self, engine):
+        fpm = engine.latency_estimate(Addresses.src, Addresses.same_subarray, 1514)
+        psm = engine.latency_estimate(Addresses.src, Addresses.same_rank, 1514)
+        gcm = engine.latency_estimate(Addresses.src, Addresses.other_rank, 1514)
+        assert fpm < psm < gcm
+
+    def test_fpm_is_row_granular(self, engine):
+        # Any size within one 8 KB rank-row costs one row copy.
+        small = engine.latency_estimate(Addresses.src, Addresses.same_subarray, 64)
+        full = engine.latency_estimate(Addresses.src, Addresses.same_subarray, 4096)
+        assert small == full
+
+    def test_psm_scales_per_line(self, engine):
+        params = NetDIMMParams()
+        one = engine.latency_estimate(Addresses.src, Addresses.same_rank, 64)
+        two = engine.latency_estimate(Addresses.src, Addresses.same_rank, 128)
+        assert two - one == params.rowclone_psm_per_line
+
+    def test_event_clone_matches_hierarchy(self, sim, engine):
+        durations = {}
+        for label, dst in (
+            ("fpm", Addresses.same_subarray),
+            ("psm", Addresses.same_rank),
+            ("gcm", Addresses.other_rank),
+        ):
+            start = sim.now
+            sim.run_until(engine.clone(Addresses.src, dst, 1514))
+            durations[label] = sim.now - start
+        assert durations["fpm"] < durations["psm"] < durations["gcm"]
+
+    def test_fpm_latency_near_90ns(self, sim, engine):
+        """[61]: ~90 ns per row copy, plus issue cost."""
+        start = sim.now
+        sim.run_until(engine.clone(Addresses.src, Addresses.same_subarray, 1514))
+        elapsed_ns = (sim.now - start) / 1000
+        assert 80 <= elapsed_ns <= 130
+
+
+class TestCloneExecution:
+    def test_invalid_size_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.clone(0, PAGE, 0)
+
+    def test_stats_by_mode(self, sim, engine):
+        sim.run_until(engine.clone(Addresses.src, Addresses.same_subarray, 1514))
+        sim.run_until(engine.clone(Addresses.src, Addresses.other_rank, 1514))
+        assert engine.stats.get_counter("clones_fpm") == 1
+        assert engine.stats.get_counter("clones_gcm") == 1
+        assert engine.stats.get_counter("bytes_fpm") == 1514
+
+    def test_gcm_uses_the_nmc(self, sim, engine):
+        sim.run_until(engine.clone(Addresses.src, Addresses.other_rank, 1514))
+        assert engine.nmc.stats.get_counter("reads") == 1
+        assert engine.nmc.stats.get_counter("writes") == 1
+
+    def test_fpm_bypasses_the_nmc(self, sim, engine):
+        sim.run_until(engine.clone(Addresses.src, Addresses.same_subarray, 1514))
+        assert engine.nmc.stats.get_counter("reads") == 0
+        assert engine.nmc.stats.get_counter("writes") == 0
+
+    def test_multi_page_clone_chunks_modes(self, sim, engine):
+        # An 8 KB clone spanning two pages where both pairs share the
+        # sub-array: two FPM chunks.
+        geometry = engine.geometry
+        src = geometry.encode(rank=0, bank=0, subarray=0, row=0)
+        dst = geometry.encode(rank=0, bank=0, subarray=0, row=20)
+        sim.run_until(engine.clone(src, dst, 2 * PAGE))
+        assert engine.stats.get_counter("clones_fpm") == 2
+
+    def test_clone_latency_histogram(self, sim, engine):
+        sim.run_until(engine.clone(Addresses.src, Addresses.same_subarray, 256))
+        assert engine.stats.histogram("clone_ns").count == 1

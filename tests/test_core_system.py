@@ -1,0 +1,95 @@
+"""Multi-NetDIMM host composition (Sec. 4.2.1)."""
+
+import pytest
+
+from repro.core.system import NetDIMMSystem
+from repro.dram.mapping import InterleaveMode
+from repro.units import PAGE, mib
+
+
+@pytest.fixture
+def system(sim):
+    return NetDIMMSystem(sim, "host", num_netdimms=2, normal_zone_bytes=mib(64))
+
+
+class TestZoneLayout:
+    def test_one_net_zone_per_netdimm(self, system):
+        names = [zone.name for zone in system.zones.net_zones()]
+        assert names == ["NET0", "NET1"]
+
+    def test_zones_stack_above_normal(self, system):
+        net0 = system.zones.by_name("NET0")
+        net1 = system.zones.by_name("NET1")
+        assert net0.base == mib(64)
+        assert net1.base == net0.end
+
+    def test_at_least_one_netdimm_required(self, sim):
+        with pytest.raises(ValueError):
+            NetDIMMSystem(sim, "host", num_netdimms=0)
+
+    def test_slot_zone_binding(self, system):
+        for index, slot in enumerate(system.slots):
+            assert slot.zone.netdimm_index == index
+            assert slot.device.zone_base == slot.zone.base
+
+
+class TestFlexMapping:
+    def test_conventional_region_interleaves(self, system):
+        region = system.mapping.region_of(0)
+        assert region.mode is InterleaveMode.MULTI
+
+    def test_net_regions_single_channel(self, system):
+        for slot in system.slots:
+            region = system.mapping.region_of(slot.zone.base)
+            assert region.mode is InterleaveMode.SINGLE
+
+    def test_netdimms_spread_over_channels(self, system):
+        channels = {
+            system.channel_of(slot.zone.base) for slot in system.slots
+        }
+        assert channels == {0, 1}
+
+    def test_net_region_contiguous_on_its_channel(self, system):
+        slot = system.slots[0]
+        locals_ = [
+            system.mapping.route(slot.zone.base + i * PAGE)[1] for i in range(64)
+        ]
+        assert all(b - a == PAGE for a, b in zip(locals_, locals_[1:]))
+
+    def test_whole_space_mapped(self, system):
+        total = mib(64) + sum(slot.zone.size for slot in system.slots)
+        assert system.mapping.total_mapped() == total
+
+
+class TestRouting:
+    def test_slot_of_net_address(self, system):
+        for slot in system.slots:
+            assert system.slot_of(slot.zone.base + PAGE) is slot
+
+    def test_slot_of_normal_address_rejected(self, system):
+        with pytest.raises(ValueError):
+            system.slot_of(0)
+
+    def test_devices_independent(self, sim, system):
+        """Traffic on one NetDIMM does not consume the other's nMC."""
+        a, b = system.slots
+        sim.run_until(a.device.nic_receive_dma(a.zone.base + 0x10000, 1514, a.zone.base))
+        assert a.device.stats.get_counter("rx_packets") == 1
+        assert b.device.stats.get_counter("rx_packets") == 0
+        assert b.device.nmc.stats.get_counter("writes") == 0
+
+
+class TestFlowSteering:
+    def test_sticky_assignment(self, system):
+        first = system.netdimm_for_flow(42)
+        assert system.netdimm_for_flow(42) is first
+
+    def test_balanced_assignment(self, system):
+        for flow in range(10):
+            system.netdimm_for_flow(flow)
+        assert system.flow_balance() == [5, 5]
+
+    def test_allocations_follow_flows(self, sim, system):
+        slot = system.netdimm_for_flow(7)
+        page, _fast = slot.alloc_cache.get(hint=None)
+        assert slot.zone.contains(page)

@@ -1,0 +1,167 @@
+"""Channel interleaving: single, multi, and flex modes (Sec. 2.3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dram.mapping import (
+    AddressMapping,
+    FlexRegion,
+    InterleaveMode,
+    netdimm_flex_mapping,
+)
+from repro.units import GB, MB
+
+
+def multi_region(size=4 * MB, channels=(0, 1), stride=256):
+    return FlexRegion(
+        base=0,
+        size=size,
+        mode=InterleaveMode.MULTI,
+        channels=tuple(channels),
+        channel_bases=tuple(0 for _ in channels),
+        stride=stride,
+    )
+
+
+def single_region(base=4 * MB, size=4 * MB, channel=0, channel_base=2 * MB):
+    return FlexRegion(
+        base=base,
+        size=size,
+        mode=InterleaveMode.SINGLE,
+        channels=(channel,),
+        channel_bases=(channel_base,),
+    )
+
+
+class TestFlexRegionValidation:
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            FlexRegion(base=0, size=0, mode=InterleaveMode.SINGLE,
+                       channels=(0,), channel_bases=(0,))
+
+    def test_no_channels_rejected(self):
+        with pytest.raises(ValueError):
+            FlexRegion(base=0, size=4096, mode=InterleaveMode.MULTI,
+                       channels=(), channel_bases=())
+
+    def test_single_mode_needs_one_channel(self):
+        with pytest.raises(ValueError):
+            FlexRegion(base=0, size=4096, mode=InterleaveMode.SINGLE,
+                       channels=(0, 1), channel_bases=(0, 0))
+
+    def test_mismatched_bases_rejected(self):
+        with pytest.raises(ValueError):
+            FlexRegion(base=0, size=4096, mode=InterleaveMode.MULTI,
+                       channels=(0, 1), channel_bases=(0,))
+
+    def test_sub_line_stride_rejected(self):
+        with pytest.raises(ValueError):
+            multi_region(stride=32)
+
+    def test_ragged_multi_size_rejected(self):
+        with pytest.raises(ValueError):
+            multi_region(size=256 * 3)  # not a whole stripe of 2 channels
+
+
+class TestSingleChannelRouting:
+    def test_offset_maps_linearly(self):
+        region = single_region()
+        channel, local = region.route(region.base + 1000)
+        assert channel == 0
+        assert local == 2 * MB + 1000
+
+    def test_outside_region_rejected(self):
+        region = single_region()
+        with pytest.raises(ValueError):
+            region.route(region.base - 1)
+
+    def test_contiguity_the_netdimm_requirement(self):
+        # Sec. 4.2.1: the NetDIMM space must appear as one continuous
+        # chunk on one channel.
+        region = single_region()
+        locals_ = [region.route(region.base + i * 64)[1] for i in range(100)]
+        assert locals_ == sorted(locals_)
+        assert all(b - a == 64 for a, b in zip(locals_, locals_[1:]))
+
+
+class TestMultiChannelRouting:
+    def test_alternates_channels_per_stride(self):
+        region = multi_region(stride=256)
+        assert region.route(0)[0] == 0
+        assert region.route(256)[0] == 1
+        assert region.route(512)[0] == 0
+
+    def test_within_stride_same_channel(self):
+        region = multi_region(stride=256)
+        assert region.route(100)[0] == region.route(200)[0]
+
+    def test_local_addresses_compact(self):
+        region = multi_region(stride=256)
+        # Stripe 2 (offset 512) is the channel-0 side of the second
+        # stripe pair: local address 256.
+        assert region.route(512)[1] == 256
+
+    @given(st.integers(min_value=0, max_value=4 * MB - 1))
+    def test_local_address_within_channel_share(self, offset):
+        region = multi_region()
+        _channel, local = region.route(offset)
+        assert 0 <= local < region.size // len(region.channels)
+
+    @given(st.integers(min_value=0, max_value=4 * MB - 1))
+    def test_routing_is_injective(self, offset):
+        region = multi_region()
+        seen = region.route(offset)
+        other = region.route((offset + 64) % (4 * MB))
+        if offset != (offset + 64) % (4 * MB):
+            assert seen != other or offset // 64 == ((offset + 64) % (4 * MB)) // 64
+
+
+class TestAddressMapping:
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ValueError):
+            AddressMapping([multi_region(), single_region(base=2 * MB)])
+
+    def test_region_lookup(self):
+        mapping = AddressMapping([multi_region(), single_region()])
+        assert mapping.region_of(0).mode is InterleaveMode.MULTI
+        assert mapping.region_of(5 * MB).mode is InterleaveMode.SINGLE
+
+    def test_unmapped_address_rejected(self):
+        mapping = AddressMapping([multi_region()])
+        with pytest.raises(ValueError):
+            mapping.region_of(100 * MB)
+
+    def test_total_mapped(self):
+        mapping = AddressMapping([multi_region(), single_region()])
+        assert mapping.total_mapped() == 8 * MB
+
+
+class TestNetDIMMFlexLayout:
+    """The Fig. 10 layout builder."""
+
+    def test_conventional_region_interleaves(self):
+        mapping = netdimm_flex_mapping(conventional_size=8 * MB, netdimm_size=16 * MB)
+        assert mapping.route(0)[0] == 0
+        assert mapping.route(256)[0] == 1
+
+    def test_netdimm_region_single_channel(self):
+        mapping = netdimm_flex_mapping(
+            conventional_size=8 * MB, netdimm_size=16 * MB, netdimm_channel=1
+        )
+        channels = {mapping.route(8 * MB + i * 4096)[0] for i in range(100)}
+        assert channels == {1}
+
+    def test_netdimm_region_above_conventional(self):
+        mapping = netdimm_flex_mapping(conventional_size=8 * MB, netdimm_size=16 * MB)
+        region = mapping.region_of(8 * MB)
+        assert region.mode is InterleaveMode.SINGLE
+        assert region.base == 8 * MB
+
+    def test_channel_local_base_clears_conventional_share(self):
+        mapping = netdimm_flex_mapping(conventional_size=8 * MB, netdimm_size=16 * MB)
+        _channel, local = mapping.route(8 * MB)
+        assert local == 4 * MB  # past channel 0's share of the interleave
+
+    def test_gigabyte_scale_layout(self):
+        mapping = netdimm_flex_mapping(conventional_size=16 * GB, netdimm_size=16 * GB)
+        assert mapping.total_mapped() == 32 * GB

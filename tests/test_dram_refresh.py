@@ -1,0 +1,65 @@
+"""DRAM refresh: tREFI cadence and tRFC blocking."""
+
+import pytest
+
+from repro.dram.bank import Bank
+from repro.dram.controller import MemoryController
+from repro.params import ddr4_2400
+from repro.units import us
+
+
+class TestBankRefresh:
+    def test_refresh_closes_row(self):
+        bank = Bank(ddr4_2400())
+        bank.access_ready_time(0, row=3, is_write=False)
+        bank.block_for_refresh(100_000)
+        assert bank.open_row is None
+
+    def test_refresh_blocks_for_trfc(self):
+        bank = Bank(ddr4_2400())
+        ready = bank.block_for_refresh(0)
+        assert ready >= ddr4_2400().tRFC
+
+    def test_access_after_refresh_waits(self):
+        timing = ddr4_2400()
+        bank = Bank(timing)
+        bank.block_for_refresh(0)
+        data = bank.access_ready_time(0, row=1, is_write=False)
+        assert data >= timing.tRFC + timing.tRCD + timing.tCL
+
+
+class TestControllerRefresh:
+    def test_disabled_by_default(self, sim):
+        mc = MemoryController(sim, "mc", ddr4_2400())
+        sim.run_until(mc.read(0))
+        sim.run(until=us(50))
+        assert mc.stats.get_counter("refreshes") == 0
+
+    def test_refresh_cadence(self, sim):
+        mc = MemoryController(sim, "mc", ddr4_2400(), refresh_enabled=True)
+        sim.run_until(mc.read(0))  # materialize a bank
+        sim.run(until=us(78))  # ten tREFI windows
+        assert mc.stats.get_counter("refreshes") == pytest.approx(10, abs=1)
+
+    def test_refresh_creates_latency_tail(self, sim):
+        """A request colliding with a refresh sees ~tRFC extra — the
+        classic memory tail-latency spike."""
+        timing = ddr4_2400()
+        mc = MemoryController(sim, "mc", timing, refresh_enabled=True)
+        sim.run_until(mc.read(0))  # materialize bank 0
+        # Land a request just after the first refresh fires at tREFI.
+        sim.run(until=timing.tREFI + 1000)
+        start = sim.now
+        sim.run_until(mc.read(64))
+        blocked = sim.now - start
+        assert blocked > timing.tRFC // 2
+
+    def test_requests_between_refreshes_unaffected(self, sim):
+        timing = ddr4_2400()
+        mc = MemoryController(sim, "mc", timing, refresh_enabled=True)
+        sim.run_until(mc.read(0))
+        # Half way between refreshes: normal latency.
+        sim.run(until=timing.tREFI // 2)
+        start = sim.now
+        sim.run_until(mc.read(0))  # row hit
+        assert sim.now - start < timing.tRFC // 2

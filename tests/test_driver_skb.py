@@ -1,0 +1,62 @@
+"""SKB allocation and the COPY_NEEDED / skb_zone flow (Sec. 4.2.2)."""
+
+import pytest
+
+from repro.driver.skb import SKB, Socket, allocate_tx_skb
+
+
+class TestSocket:
+    def test_fresh_socket_has_no_zone(self):
+        socket = Socket()
+        assert socket.skb_zone is None
+        assert not socket.established_on_netdimm
+
+    def test_socket_ids_unique(self):
+        assert Socket().socket_id != Socket().socket_id
+
+    def test_learned_zone(self):
+        socket = Socket()
+        socket.skb_zone = "NET0"
+        assert socket.established_on_netdimm
+
+
+class TestSKB:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            SKB(size_bytes=0)
+
+    def test_defaults(self):
+        skb = SKB(size_bytes=64)
+        assert skb.zone_name == "ZONE_NORMAL"
+        assert not skb.copy_needed
+
+
+class TestAllocateTxSKB:
+    def test_first_packet_takes_slow_path(self):
+        """Connection-establishment SKBs live in regular kernel memory
+        and carry COPY_NEEDED."""
+        socket = Socket()
+        skb = allocate_tx_skb(socket, 256)
+        assert skb.copy_needed
+        assert skb.zone_name == "ZONE_NORMAL"
+
+    def test_established_connection_takes_fast_path(self):
+        socket = Socket()
+        socket.skb_zone = "NET0"
+        skb = allocate_tx_skb(socket, 256)
+        assert not skb.copy_needed
+        assert skb.zone_name == "NET0"
+
+    def test_learning_transition(self):
+        """After the driver records the zone, later SKBs go fast-path."""
+        socket = Socket()
+        first = allocate_tx_skb(socket, 64)
+        assert first.copy_needed
+        socket.skb_zone = "NET0"  # what the driver does in Alg. 1 line 5
+        second = allocate_tx_skb(socket, 64)
+        assert not second.copy_needed
+
+    def test_skb_carries_socket(self):
+        socket = Socket()
+        skb = allocate_tx_skb(socket, 64)
+        assert skb.socket is socket

@@ -1,0 +1,59 @@
+"""The shared one-way measurement machinery."""
+
+import pytest
+
+from repro.experiments.oneway import NIC_KINDS, cached_one_way, make_node, measure_one_way
+from repro.net.packet import FIG11_SEGMENTS
+from repro.sim import Simulator
+
+
+class TestMakeNode:
+    @pytest.mark.parametrize("kind", NIC_KINDS)
+    def test_all_kinds_constructible(self, kind):
+        node = make_node(Simulator(), "n", kind)
+        assert node.name == "n"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_node(Simulator(), "n", "quantum-nic")
+
+    def test_zero_copy_variants(self):
+        assert make_node(Simulator(), "n", "dnic.zcpy").zero_copy
+        assert not make_node(Simulator(), "n", "dnic").zero_copy
+
+
+class TestMeasureOneWay:
+    def test_result_fields(self):
+        result = measure_one_way("inic", 256)
+        assert result.nic_kind == "inic"
+        assert result.size_bytes == 256
+        assert result.total_ticks == sum(result.segments.values())
+        assert result.total_us == result.total_ticks / 1e6
+
+    def test_segments_are_fig11_labels(self):
+        result = measure_one_way("netdimm", 256)
+        assert set(result.segments) <= set(FIG11_SEGMENTS)
+
+    def test_wire_segment_present(self):
+        result = measure_one_way("dnic", 256)
+        assert result.segments["wire"] > 0
+        assert result.host_ticks() == result.total_ticks - result.segments["wire"]
+
+    def test_deterministic(self):
+        assert measure_one_way("netdimm", 512) == measure_one_way("netdimm", 512)
+
+    def test_warm_packets_engage_fast_path(self):
+        warm = measure_one_way("netdimm", 1024, warm_packets=1)
+        cold = measure_one_way("netdimm", 1024, warm_packets=0)
+        assert warm.total_ticks < cold.total_ticks
+
+    def test_latency_monotone_in_size_per_config(self):
+        for kind in ("dnic", "inic", "netdimm"):
+            totals = [measure_one_way(kind, size).total_ticks
+                      for size in (64, 256, 1024)]
+            assert totals == sorted(totals)
+
+    def test_cached_measurement_consistent(self):
+        direct = measure_one_way("inic", 320)
+        cached = cached_one_way("inic", 320)
+        assert cached.total_ticks == direct.total_ticks

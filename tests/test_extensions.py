@@ -1,0 +1,120 @@
+"""Extension features: kernel stack, notification modes, transaction
+census, RX bandwidth."""
+
+import dataclasses
+
+import pytest
+
+from repro.driver.stack import KernelStackModel, KernelStackParams
+from repro.experiments import bandwidth, kernel_stack, notification, transactions
+from repro.experiments.oneway import measure_one_way
+from repro.params import DEFAULT
+from repro.units import us
+
+
+class TestKernelStackModel:
+    model = KernelStackModel()
+
+    def test_overheads_positive(self):
+        assert self.model.tx_overhead(64) > 0
+        assert self.model.rx_overhead(64) > 0
+
+    def test_round_trip_is_sum(self):
+        assert self.model.round_trip_overhead(256) == (
+            self.model.tx_overhead(256) + self.model.rx_overhead(256)
+        )
+
+    def test_order_of_microseconds(self):
+        """Kernel stacks cost a few us per direction, not nanoseconds."""
+        assert us(1) < self.model.round_trip_overhead(64) < us(10)
+
+    def test_per_byte_term(self):
+        small = self.model.tx_overhead(64)
+        large = self.model.tx_overhead(1514)
+        assert large - small == (1514 - 64) * KernelStackParams().per_byte_ps
+
+    def test_layer_budget_sums_to_round_trip(self):
+        budget = self.model.layer_budget(512)
+        assert sum(budget.values()) == self.model.round_trip_overhead(512)
+
+
+class TestKernelStackExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return kernel_stack.run()
+
+    def test_kernel_dilutes_relative_improvement(self, result):
+        for size in kernel_stack.SIZES:
+            assert result.improvement("kernel", size) < result.improvement("bare", size)
+
+    def test_absolute_saving_preserved(self, result):
+        for size in kernel_stack.SIZES:
+            assert result.absolute_saving("kernel", size) == (
+                result.absolute_saving("bare", size)
+            )
+
+    def test_report_mentions_dilution(self, result):
+        assert "fades" in kernel_stack.format_report(result)
+
+
+class TestNotificationModes:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return notification.run()
+
+    def test_interrupts_cost_microseconds(self, result):
+        """Sec. 2.1: interrupts delay processing by several us."""
+        for config in notification.CONFIGS:
+            penalty = result.interrupt_penalty(config, 64)
+            assert us(3) < penalty < us(10)
+
+    def test_interrupts_dilute_the_architecture_gap(self, result):
+        for size in notification.SIZES:
+            assert result.netdimm_improvement("interrupt", size) < (
+                result.netdimm_improvement("polling", size)
+            )
+
+    def test_ordering_survives_interrupts(self, result):
+        for size in notification.SIZES:
+            dnic = result.latency[("interrupt", "dnic", size)]
+            inic = result.latency[("interrupt", "inic", size)]
+            netdimm = result.latency[("interrupt", "netdimm", size)]
+            assert netdimm < inic < dnic
+
+    def test_unknown_mode_rejected(self):
+        params = dataclasses.replace(
+            DEFAULT,
+            software=dataclasses.replace(DEFAULT.software, rx_notification="psychic"),
+        )
+        with pytest.raises(Exception):
+            measure_one_way("dnic", 64, params)
+
+
+class TestTransactionCensus:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return transactions.run()
+
+    def test_symmetric_hosts(self, result):
+        assert result.client_traversals == result.server_traversals
+
+    def test_near_paper_count(self, result):
+        """Paper: 16 one-way transactions; our polling driver saves the
+        interrupt-related ones."""
+        assert 10 <= result.per_host <= 16
+
+    def test_netdimm_uses_zero(self, result):
+        assert result.netdimm_traversals == 0
+
+    def test_breakdown_consistent(self, result):
+        posted = result.breakdown["client posted writes"]
+        reads = result.breakdown["client non-posted reads"]
+        assert result.client_traversals == posted + 2 * reads
+
+
+class TestRXBandwidth:
+    def test_all_configs_consume_line_rate(self):
+        result = bandwidth.run(packets=120)
+        for config in ("dnic", "inic", "netdimm"):
+            assert result.achieved_rx_gbps[config] > 34.0
+            assert result.rx_line_rate_fraction(config) > 0.85

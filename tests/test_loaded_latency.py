@@ -1,0 +1,51 @@
+"""The loaded-latency extension experiment."""
+
+import pytest
+
+from repro.experiments import loaded_latency
+
+
+class TestHostDramLines:
+    def test_netdimm_touches_only_metadata(self):
+        assert loaded_latency.host_dram_lines("netdimm", 1514) == 3
+        assert loaded_latency.host_dram_lines("netdimm", 64) == 3
+
+    def test_dnic_scales_with_payload(self):
+        assert loaded_latency.host_dram_lines("dnic", 1514) == 4 + 24
+        assert loaded_latency.host_dram_lines("dnic", 64) == 4 + 1
+
+
+class TestExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return loaded_latency.run()
+
+    def test_pressure_monotone_on_probe(self, result):
+        assert (
+            result.dram_latency_ns["idle"]
+            <= result.dram_latency_ns["moderate"]
+            <= result.dram_latency_ns["max"]
+        )
+
+    def test_everyone_degrades_or_holds(self, result):
+        for config in loaded_latency.CONFIGS:
+            for size in loaded_latency.SIZES:
+                assert result.degradation(config, size) >= 1.0
+
+    def test_netdimm_degrades_least(self, result):
+        for size in loaded_latency.SIZES:
+            netdimm = result.degradation("netdimm", size)
+            assert netdimm <= result.degradation("dnic", size)
+            assert netdimm <= result.degradation("inic", size)
+
+    def test_advantage_grows_under_pressure(self, result):
+        for size in loaded_latency.SIZES:
+            assert result.netdimm_advantage(size, "max") >= (
+                result.netdimm_advantage(size, "idle") - 0.01
+            )
+
+    def test_report_structure(self, result):
+        text = loaded_latency.format_report(result)
+        assert "probe DRAM latency" in text
+        assert "1514 B packets" in text
+        assert "nMC" in text

@@ -1,0 +1,110 @@
+"""The allocCache pre-allocation pool (Sec. 4.2.2)."""
+
+import pytest
+
+from repro.dram.geometry import DRAMGeometry
+from repro.mem.alloc_cache import AllocCache
+from repro.mem.allocator import PageAllocator
+from repro.mem.zones import MemoryZone, ZoneKind
+from repro.units import GB, MB, ns
+
+
+@pytest.fixture
+def setup(sim):
+    zone = MemoryZone(name="NET0", kind=ZoneKind.NET, base=0, size=16 * GB,
+                      netdimm_index=0)
+    allocator = PageAllocator(zone, DRAMGeometry(ranks=2))
+    cache = AllocCache(sim, "ac", allocator, refill_latency=ns(600))
+    return sim, allocator, cache
+
+
+class TestCapacityOverhead:
+    def test_32k_pages_for_16gb_netdimm(self, setup):
+        """Sec. 4.2.2: 2 pages x 16 K classes = 32 K pages = 128 MB."""
+        _sim, _allocator, cache = setup
+        assert cache.capacity_overhead_pages() == 32768
+        overhead_bytes = cache.capacity_overhead_pages() * 4096
+        assert overhead_bytes == 128 * MB
+
+    def test_overhead_fraction_under_one_percent(self, setup):
+        _sim, _allocator, cache = setup
+        fraction = cache.capacity_overhead_pages() * 4096 / (16 * GB)
+        assert fraction == pytest.approx(0.0078, abs=0.001)  # paper: 0.8%
+
+
+class TestFastPath:
+    def test_hinted_get_is_fast_and_affine(self, setup):
+        _sim, allocator, cache = setup
+        hint = allocator.alloc_page()
+        page, fast = cache.get(hint=hint)
+        assert fast
+        assert allocator.same_subarray(hint, page)
+
+    def test_untouched_class_reports_full_quota(self, setup):
+        _sim, _allocator, cache = setup
+        assert cache.pooled_pages(123) == 2
+
+    def test_drained_class_falls_back_slow(self, setup):
+        sim, allocator, cache = setup
+        hint = allocator.alloc_page()
+        # Drain the pool for this class without letting refills run.
+        _page1, fast1 = cache.get(hint=hint)
+        _page2, fast2 = cache.get(hint=hint)
+        _page3, fast3 = cache.get(hint=hint)
+        assert (fast1, fast2) == (True, True)
+        assert not fast3  # pool empty -> slow allocator path
+        assert cache.stats.get_counter("misses") == 1
+
+    def test_background_refill_restores_pool(self, setup):
+        sim, allocator, cache = setup
+        hint = allocator.alloc_page()
+        klass = allocator.class_of(hint)
+        cache.get(hint=hint)
+        cache.get(hint=hint)
+        assert cache.pooled_pages(klass) == 0
+        sim.run()  # let the refill process complete
+        assert cache.pooled_pages(klass) == 2
+        assert cache.stats.get_counter("refills") >= 2
+
+    def test_refill_takes_time(self, setup):
+        sim, allocator, cache = setup
+        hint = allocator.alloc_page()
+        klass = allocator.class_of(hint)
+        cache.get(hint=hint)
+        sim.run(until=ns(100))
+        # Not yet refilled: the refill latency is 600 ns.
+        assert cache.pooled_pages(klass) == 1
+        sim.run()
+        assert cache.pooled_pages(klass) == 2
+
+    def test_unhinted_get(self, setup):
+        _sim, _allocator, cache = setup
+        page, _fast = cache.get(hint=None)
+        assert page % 4096 == 0
+
+    def test_put_returns_to_pool(self, setup):
+        sim, allocator, cache = setup
+        hint = allocator.alloc_page()
+        page, _ = cache.get(hint=hint)
+        klass = allocator.class_of(page)
+        before = cache.pooled_pages(klass)
+        cache.put(page)
+        assert cache.pooled_pages(klass) == before + 1
+
+    def test_put_overflow_goes_to_allocator(self, setup):
+        sim, allocator, cache = setup
+        hint = allocator.alloc_page()
+        page, _ = cache.get(hint=hint)
+        sim.run()  # refill to quota
+        free_before = allocator.free_pages
+        cache.put(page)  # pool already full -> back to the allocator
+        assert allocator.free_pages == free_before + 1
+
+    def test_distinct_pages_across_gets(self, setup):
+        sim, _allocator, cache = setup
+        pages = set()
+        for _ in range(50):
+            page, _ = cache.get(hint=None)
+            pages.add(page)
+            sim.run()
+        assert len(pages) == 50

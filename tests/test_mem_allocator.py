@@ -1,0 +1,164 @@
+"""The sub-array-affine page allocator (__alloc_netdimm_pages)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dram.geometry import DRAMGeometry
+from repro.mem.allocator import OutOfMemoryError, PageAllocator, PAGES_PER_CLASS
+from repro.mem.zones import MemoryZone, ZoneKind
+from repro.units import GB, MB, PAGE
+
+
+def net_zone(size=16 * GB, base=16 * MB):
+    return MemoryZone(name="NET0", kind=ZoneKind.NET, base=base, size=size,
+                      netdimm_index=0)
+
+
+def normal_zone(size=4 * MB):
+    return MemoryZone(name="ZONE_NORMAL", kind=ZoneKind.NORMAL, base=0, size=size)
+
+
+@pytest.fixture
+def allocator():
+    return PageAllocator(net_zone(), DRAMGeometry(ranks=2))
+
+
+class TestBasicAllocation:
+    def test_pages_are_page_aligned(self, allocator):
+        for _ in range(50):
+            assert allocator.alloc_page() % PAGE == 0
+
+    def test_pages_within_zone(self, allocator):
+        for _ in range(50):
+            address = allocator.alloc_page()
+            assert allocator.zone.contains(address)
+
+    def test_no_duplicate_allocations(self, allocator):
+        pages = {allocator.alloc_page() for _ in range(200)}
+        assert len(pages) == 200
+
+    def test_allocated_counter(self, allocator):
+        allocator.alloc_page()
+        allocator.alloc_page()
+        assert allocator.allocated_pages == 2
+
+    def test_free_page_returns_to_pool(self, allocator):
+        page = allocator.alloc_page()
+        before = allocator.free_pages
+        allocator.free_page(page)
+        assert allocator.free_pages == before + 1
+
+    def test_double_free_rejected(self, allocator):
+        page = allocator.alloc_page()
+        allocator.free_page(page)
+        with pytest.raises(ValueError):
+            allocator.free_page(page)
+
+    def test_foreign_page_free_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.free_page(0xDEAD000)
+
+    def test_freed_page_reusable(self, allocator):
+        page = allocator.alloc_page()
+        allocator.free_page(page)
+        klass = allocator.class_of(page)
+        assert allocator.alloc_page_in_class(klass) == page
+
+    def test_exhaustion_raises(self):
+        allocator = PageAllocator(normal_zone(size=8 * PAGE))
+        for _ in range(8):
+            allocator.alloc_page()
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc_page()
+
+    def test_subarray_class_count(self, allocator):
+        # 2 ranks x 8 K classes (Sec. 4.2.2).
+        assert allocator.subarray_classes() == 16384
+
+
+class TestHintedAllocation:
+    """The best-effort same-sub-array semantics of Sec. 4.2.1."""
+
+    def test_hint_lands_on_same_subarray(self, allocator):
+        first = allocator.alloc_page()
+        second = allocator.alloc_page(hint=first)
+        assert allocator.same_subarray(first, second)
+        assert first != second
+
+    def test_none_hint_only_zone_constraint(self, allocator):
+        page = allocator.alloc_page(hint=None)
+        assert allocator.zone.contains(page)
+
+    def test_hint_outside_zone_ignored(self, allocator):
+        page = allocator.alloc_page(hint=0x100)  # below zone base
+        assert allocator.zone.contains(page)
+
+    def test_best_effort_fallback_when_class_drained(self, allocator):
+        hint = allocator.alloc_page()
+        klass = allocator.class_of(hint)
+        # Drain the hint's class completely.
+        while allocator.alloc_page_in_class(klass) is not None:
+            pass
+        fallback = allocator.alloc_page(hint=hint)
+        assert fallback is not None
+        assert not allocator.same_subarray(hint, fallback)
+
+    def test_class_holds_256_pages(self, allocator):
+        hint = allocator.alloc_page()
+        klass = allocator.class_of(hint)
+        drained = 0
+        while allocator.alloc_page_in_class(klass) is not None:
+            drained += 1
+        assert drained == PAGES_PER_CLASS - 1  # the hint page itself is out
+
+    def test_unhinted_allocations_spread_over_classes(self, allocator):
+        classes = {allocator.class_of(allocator.alloc_page()) for _ in range(64)}
+        assert len(classes) > 32  # rotation spreads allocations
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_hint_affinity_property(self, page_index):
+        allocator = PageAllocator(net_zone(), DRAMGeometry(ranks=2))
+        hint = allocator.zone.base + page_index * PAGE
+        allocated = allocator.alloc_page(hint=hint)
+        assert allocator.same_subarray(hint, allocated)
+
+
+class TestZoneSmallerThanDimm:
+    def test_partial_zone_respects_bounds(self):
+        geometry = DRAMGeometry(ranks=2)
+        zone = MemoryZone(name="NET0", kind=ZoneKind.NET, base=0, size=64 * MB,
+                          netdimm_index=0)
+        allocator = PageAllocator(zone, geometry)
+        for _ in range(100):
+            assert allocator.alloc_page() < 64 * MB
+
+    def test_zone_larger_than_dimm_rejected(self):
+        geometry = DRAMGeometry(ranks=1)
+        zone = net_zone(size=16 * GB, base=0)
+        with pytest.raises(ValueError):
+            PageAllocator(zone, geometry)
+
+    def test_free_page_accounting_exact(self):
+        zone = MemoryZone(name="NET0", kind=ZoneKind.NET, base=0, size=1 * MB,
+                          netdimm_index=0)
+        allocator = PageAllocator(zone, DRAMGeometry(ranks=2))
+        pages = [allocator.alloc_page() for _ in range(zone.num_pages)]
+        assert allocator.free_pages == 0
+        assert len(set(pages)) == zone.num_pages
+        with pytest.raises(OutOfMemoryError):
+            allocator.alloc_page()
+
+
+class TestNormalZoneAllocator:
+    def test_geometry_free_allocator(self):
+        allocator = PageAllocator(normal_zone())
+        pages = [allocator.alloc_page() for _ in range(10)]
+        assert len(set(pages)) == 10
+        assert allocator.subarray_classes() == 1
+
+    def test_same_subarray_trivially_true(self):
+        allocator = PageAllocator(normal_zone())
+        a = allocator.alloc_page()
+        b = allocator.alloc_page()
+        assert allocator.same_subarray(a, b)

@@ -1,0 +1,101 @@
+"""Packet metadata and breakdown accounting."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import Breakdown, FIG11_SEGMENTS, Packet, TCP_IP_HEADER_BYTES
+
+
+class TestPacket:
+    def test_positive_size_required(self):
+        with pytest.raises(ValueError):
+            Packet(size_bytes=0)
+
+    def test_mtu_is_24_lines(self):
+        assert Packet(size_bytes=1514).num_cachelines == 24
+
+    def test_single_line_packet(self):
+        assert Packet(size_bytes=64).num_cachelines == 1
+
+    def test_payload_beyond_first_line(self):
+        assert Packet(size_bytes=1514).payload_bytes == 1450
+        assert Packet(size_bytes=64).payload_bytes == 0
+        assert Packet(size_bytes=10).payload_bytes == 0
+
+    def test_header_fits_one_cacheline(self):
+        """Sec. 4.1: max TCP/IP header (52 B) fits the cached first line."""
+        assert TCP_IP_HEADER_BYTES <= 64
+        assert Packet(size_bytes=1514).header_bytes <= 64
+
+    def test_packet_ids_unique(self):
+        a, b = Packet(size_bytes=64), Packet(size_bytes=64)
+        assert a.packet_id != b.packet_id
+
+    def test_copy_needed_flag_default(self):
+        assert not Packet(size_bytes=64).copy_needed
+
+
+class TestBreakdown:
+    def test_empty_total_zero(self):
+        assert Breakdown().total == 0
+
+    def test_add_accumulates(self):
+        breakdown = Breakdown()
+        breakdown.add("txCopy", 100)
+        breakdown.add("txCopy", 50)
+        assert breakdown.get("txCopy") == 150
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            Breakdown().add("wire", -1)
+
+    def test_missing_segment_zero(self):
+        assert Breakdown().get("rxDMA") == 0
+
+    def test_total_sums_segments(self):
+        breakdown = Breakdown()
+        breakdown.add("a", 10)
+        breakdown.add("b", 30)
+        assert breakdown.total == 40
+
+    def test_fraction(self):
+        breakdown = Breakdown()
+        breakdown.add("txFlush", 25)
+        breakdown.add("wire", 75)
+        assert breakdown.fraction("txFlush") == 0.25
+
+    def test_fraction_of_empty_is_zero(self):
+        assert Breakdown().fraction("wire") == 0.0
+
+    def test_merged_combines(self):
+        tx = Breakdown()
+        tx.add("txCopy", 10)
+        rx = Breakdown()
+        rx.add("rxCopy", 20)
+        rx.add("txCopy", 5)
+        merged = tx.merged(rx)
+        assert merged.get("txCopy") == 15
+        assert merged.get("rxCopy") == 20
+        assert tx.get("txCopy") == 10  # originals untouched
+
+    def test_as_dict_orders_fig11_segments_first(self):
+        breakdown = Breakdown()
+        breakdown.add("custom", 1)
+        breakdown.add("rxCopy", 2)
+        breakdown.add("txCopy", 3)
+        keys = list(breakdown.as_dict())
+        assert keys.index("txCopy") < keys.index("rxCopy") < keys.index("custom")
+
+    def test_fig11_segments_complete(self):
+        assert set(FIG11_SEGMENTS) == {
+            "txCopy", "txFlush", "ioreg", "txDMA",
+            "wire", "rxDMA", "rxInvalidate", "rxCopy",
+        }
+
+    @given(st.dictionaries(st.sampled_from(FIG11_SEGMENTS),
+                           st.integers(min_value=0, max_value=10**9)))
+    def test_total_equals_sum(self, charges):
+        breakdown = Breakdown()
+        for segment, ticks in charges.items():
+            breakdown.add(segment, ticks)
+        assert breakdown.total == sum(charges.values())

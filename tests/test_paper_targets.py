@@ -1,0 +1,234 @@
+"""Integration tests: the reproduction vs. the paper's quoted numbers.
+
+Every assertion here goes through the
+:mod:`repro.analysis.targets` registry, which records the paper value,
+its source, and the acceptance band.  These are the tests that say
+"the reproduction still reproduces the paper" — the rest of the suite
+says "the components still work".
+"""
+
+import pytest
+
+from repro.analysis.targets import PAPER_TARGETS, check_value
+from repro.experiments import bandwidth, fig4, fig5, fig7, fig11, fig12a, fig12b, table1
+from repro.workloads.traces import ClusterKind
+from repro.workloads.netfuncs import NetworkFunction
+
+
+def assert_target(name, measured):
+    ok, target = check_value(name, measured)
+    assert ok, (
+        f"{name}: measured {measured:.3f} outside [{target.low}, {target.high}] "
+        f"(paper: {target.paper_value} — {target.source})"
+    )
+
+
+@pytest.fixture(scope="module")
+def fig11_result():
+    return fig11.run(sizes=(10, 60, 200, 500, 1000, 2000, 4000, 8000))
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return fig4.run()
+
+
+class TestFig11Targets:
+    def test_average_improvement_vs_dnic(self, fig11_result):
+        assert_target(
+            "fig11.improvement_vs_dnic.avg",
+            fig11_result.average_improvement("dnic"),
+        )
+
+    def test_average_improvement_vs_inic(self, fig11_result):
+        assert_target(
+            "fig11.improvement_vs_inic.avg",
+            fig11_result.average_improvement("inic"),
+        )
+
+    @pytest.mark.parametrize("size", [64, 256, 1024])
+    def test_quoted_size_improvements(self, fig11_result, size):
+        assert_target(
+            f"fig11.improvement_vs_dnic.{size}B",
+            fig11_result.improvement("dnic", size),
+        )
+
+    def test_flush_invalidate_share(self, fig11_result):
+        assert_target(
+            "fig11.flush_invalidate_share.64B",
+            fig11_result.flush_invalidate_share(64),
+        )
+
+    def test_absolute_latencies(self, fig11_result):
+        assert_target(
+            "fig11.dnic_total_us.64B",
+            fig11_result.results[("dnic", 64)].total_us,
+        )
+        assert_target(
+            "fig11.netdimm_total_us.64B",
+            fig11_result.results[("netdimm", 64)].total_us,
+        )
+
+    def test_improvement_positive_everywhere(self, fig11_result):
+        for size in fig11_result.sizes:
+            assert fig11_result.improvement("dnic", size) > 0
+            assert fig11_result.improvement("inic", size) > 0
+
+
+class TestFig4Targets:
+    def test_inic_improvement_band(self, fig4_result):
+        improvements = [fig4_result.inic_improvement(size) for size in fig4.PACKET_SIZES]
+        assert_target("fig4.inic_improvement.min", min(improvements))
+        assert_target("fig4.inic_improvement.max", max(improvements))
+
+    def test_inic_improvement_larger_for_small_packets(self, fig4_result):
+        assert fig4_result.inic_improvement(10) > fig4_result.inic_improvement(2000)
+
+    def test_zcpy_improvements(self, fig4_result):
+        assert_target(
+            "fig4.zcpy_improvement.10B", fig4_result.zcpy_improvement("inic", 10)
+        )
+        assert_target(
+            "fig4.zcpy_improvement.2000B", fig4_result.zcpy_improvement("inic", 2000)
+        )
+
+    def test_zcpy_gain_grows_with_size(self, fig4_result):
+        assert fig4_result.zcpy_improvement("inic", 2000) > (
+            fig4_result.zcpy_improvement("inic", 10)
+        )
+
+    def test_pcie_fraction_band(self, fig4_result):
+        assert_target(
+            "fig4.pcie_fraction.10B",
+            fig4_result.pcie_overhead_fraction[("dnic.zcpy", 10)],
+        )
+        assert_target(
+            "fig4.pcie_fraction.2000B",
+            fig4_result.pcie_overhead_fraction[("dnic.zcpy", 2000)],
+        )
+
+    def test_pcie_fraction_shrinks_with_size(self, fig4_result):
+        assert fig4_result.pcie_overhead_fraction[("dnic.zcpy", 10)] > (
+            fig4_result.pcie_overhead_fraction[("dnic.zcpy", 2000)]
+        )
+
+
+class TestFig7Targets:
+    def test_burst_structure(self):
+        result = fig7.run()
+        assert result.burst_count == 6
+        for lines in result.lines_per_burst:
+            assert_target("fig7.lines_per_burst", lines)
+        assert_target("fig7.third_burst_ns", result.burst_duration_ns(2))
+
+
+class TestFig5Targets:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig5.run(delays_ns=(0, 200, None), packets=200)
+
+    def test_unloaded_bandwidth(self, result):
+        assert_target("fig5.unloaded_gbps", result.unloaded_gbps)
+
+    def test_max_pressure_collapse(self, result):
+        assert_target("fig5.max_pressure_fraction", result.max_pressure_fraction)
+
+    def test_pressure_monotone(self, result):
+        assert result.bandwidth_gbps[0] <= result.bandwidth_gbps[200] <= (
+            result.bandwidth_gbps[None]
+        )
+
+
+class TestBandwidthTargets:
+    def test_all_configs_sustain_line_rate(self):
+        result = bandwidth.run(packets=150)
+        assert_target("bandwidth.netdimm_gbps", result.achieved_gbps["netdimm"])
+        for config in ("dnic", "inic"):
+            assert result.achieved_gbps[config] > 34.0
+
+
+class TestFig12aTargets:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12a.run(packets_per_cluster=800)
+
+    def test_improvement_vs_dnic_at_sweep_ends(self, result):
+        assert_target(
+            "fig12a.improvement_vs_dnic.25ns", result.average_improvement("dnic", 25)
+        )
+        assert_target(
+            "fig12a.improvement_vs_dnic.200ns", result.average_improvement("dnic", 200)
+        )
+
+    def test_improvement_shrinks_with_switch_latency(self, result):
+        values = [
+            result.average_improvement("dnic", switch_ns)
+            for switch_ns in (25, 50, 100, 200)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_improvement_vs_inic(self, result):
+        best = max(
+            result.average_improvement("inic", switch_ns)
+            for switch_ns in (25, 50, 100, 200)
+        )
+        assert_target("fig12a.improvement_vs_inic.max", best)
+
+    def test_normalized_below_one_everywhere(self, result):
+        for cluster in ClusterKind:
+            for switch_ns in (25, 50, 100, 200):
+                assert result.normalized(cluster, "dnic", switch_ns) < 1.0
+
+
+class TestFig12bTargets:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12b.run(packets=600)
+
+    def test_dpi_penalty_band(self, result):
+        worst = max(
+            result.normalized(cluster, NetworkFunction.DPI) - 1
+            for cluster in ClusterKind
+        )
+        assert_target("fig12b.dpi_worst_penalty", worst)
+
+    def test_l3f_improvement_band(self, result):
+        best = max(
+            1 - result.normalized(cluster, NetworkFunction.L3F)
+            for cluster in ClusterKind
+        )
+        assert_target("fig12b.l3f_best_improvement", best)
+
+    def test_dpi_worse_l3f_better(self, result):
+        """The sign structure of Fig. 12(b)."""
+        for cluster in ClusterKind:
+            assert result.normalized(cluster, NetworkFunction.DPI) >= 1.0
+            assert result.normalized(cluster, NetworkFunction.L3F) < 1.0
+
+    def test_cluster_ordering(self, result):
+        """Hadoop benefits most, webserver least (Sec. 5.3)."""
+        hadoop = result.cluster_average_improvement(ClusterKind.HADOOP)
+        webserver = result.cluster_average_improvement(ClusterKind.WEBSERVER)
+        assert hadoop > webserver
+
+
+class TestTable1:
+    def test_rows_match_paper_fields(self):
+        rows = table1.run().rows
+        assert rows["Cores (# cores, freq)"] == "(8, 3.4GHz)"
+        assert "DDR4-2400" in rows["DRAM"]
+        assert "40GbE" in rows["Network/Switch latency/#NetDIMM"]
+        assert "x8 PCIe 4" in rows["PCIe performance"]
+
+
+class TestTargetRegistry:
+    def test_all_targets_have_bands_containing_paper_value_or_note(self):
+        for target in PAPER_TARGETS.values():
+            assert target.low <= target.high
+            assert target.source
+
+    def test_check_value_roundtrip(self):
+        ok, target = check_value("fig7.lines_per_burst", 24)
+        assert ok and target.paper_value == 24
+        ok, _ = check_value("fig7.lines_per_burst", 23)
+        assert not ok

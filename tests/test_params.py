@@ -1,0 +1,128 @@
+"""Parameter registry: structure, immutability, derived quantities."""
+
+import dataclasses
+
+import pytest
+
+from repro import params as params_module
+from repro.params import (
+    DEFAULT,
+    SystemParams,
+    ddr4_2400,
+    ddr5_4800,
+    table1_report,
+)
+from repro.units import Gbps, ns
+
+
+class TestImmutability:
+    def test_all_parameter_groups_frozen(self):
+        for group in (
+            DEFAULT.software,
+            DEFAULT.pcie,
+            DEFAULT.host_dram,
+            DEFAULT.netdimm_dram,
+            DEFAULT.nvdimmp,
+            DEFAULT.netdimm,
+            DEFAULT.network,
+            DEFAULT.cache,
+            DEFAULT.nic,
+            DEFAULT,
+        ):
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                setattr(group, "tCL", 1)
+
+    def test_with_switch_latency_returns_copy(self):
+        tuned = DEFAULT.with_switch_latency(ns(25))
+        assert tuned.network.switch_latency == ns(25)
+        assert DEFAULT.network.switch_latency == ns(100)
+        assert tuned is not DEFAULT
+
+
+class TestDRAMTables:
+    def test_table1_dram_is_ddr4_2400(self):
+        assert DEFAULT.host_dram.name == "DDR4-2400"
+
+    def test_netdimm_channel_is_ddr5(self):
+        assert DEFAULT.netdimm_dram.name == "DDR5-4800"
+
+    def test_ddr5_bandwidth_double_ddr4(self):
+        """Sec. 5.2: DDR5's projected bandwidth is twice DDR4's."""
+        ratio = ddr5_4800().channel_bytes_per_ps / ddr4_2400().channel_bytes_per_ps
+        assert ratio == pytest.approx(2.0)
+
+    def test_ddr4_burst_matches_bandwidth(self):
+        timing = ddr4_2400()
+        implied = 64 / timing.tBURST * 1e12 / 1e9  # GB/s
+        assert implied == pytest.approx(19.2, rel=0.01)
+
+    def test_ddr5_burst_matches_bandwidth(self):
+        timing = ddr5_4800()
+        implied = 64 / timing.tBURST * 1e12 / 1e9
+        assert implied == pytest.approx(38.4, rel=0.02)
+
+    def test_latencies_near_constant_across_generations(self):
+        assert ddr5_4800().tCL == pytest.approx(ddr4_2400().tCL, rel=0.1)
+
+
+class TestNetworkParams:
+    def test_40gbe(self):
+        assert DEFAULT.network.link_bytes_per_ps == pytest.approx(Gbps(40))
+
+    def test_table1_switch_latency(self):
+        assert DEFAULT.network.switch_latency == ns(100)
+
+    def test_mtu_1514(self):
+        """Sec. 5.1: MTU is set to 1514 B."""
+        assert DEFAULT.network.mtu_bytes == 1514
+
+
+class TestPCIeParams:
+    def test_gen4_x8(self):
+        assert DEFAULT.pcie.generation == 4
+        assert DEFAULT.pcie.lanes == 8
+
+    def test_encoding_128b130b(self):
+        assert DEFAULT.pcie.encoding_efficiency == pytest.approx(128 / 130)
+
+
+class TestCacheParams:
+    def test_ddio_ten_percent(self):
+        """Sec. 2.1: DDIO is ~10% of LLC capacity."""
+        assert DEFAULT.cache.ddio_way_fraction == 0.10
+
+    def test_table1_llc_2mb(self):
+        assert DEFAULT.cache.l2_size == 2 * 1024 * 1024
+
+
+class TestRowCloneParams:
+    def test_fpm_90ns_per_row(self):
+        """[61]: ~90 ns per FPM row copy."""
+        assert DEFAULT.netdimm.rowclone_fpm_per_row == ns(90)
+
+    def test_mode_cost_ordering_per_line(self):
+        netdimm = DEFAULT.netdimm
+        assert netdimm.rowclone_psm_per_line < netdimm.rowclone_gcm_per_line
+
+
+class TestTable1Report:
+    def test_report_structure(self):
+        rows = table1_report()
+        assert rows["Cores (# cores, freq)"] == "(8, 3.4GHz)"
+        assert rows["DRAM"] == "DDR4-2400/16GB/2 channels"
+        assert rows["Network/Switch latency/#NetDIMM"] == "40GbE/100ns/1"
+        assert rows["PCIe performance"] == "x8 PCIe 4 [59]"
+
+    def test_report_tracks_overrides(self):
+        tuned = DEFAULT.with_switch_latency(ns(25))
+        rows = table1_report(tuned)
+        assert "25ns" in rows["Network/Switch latency/#NetDIMM"]
+
+
+class TestCalibrationDocumentation:
+    def test_every_calibrated_constant_is_marked(self):
+        """Constants calibrated against paper aggregates must say so."""
+        import inspect
+
+        source = inspect.getsource(params_module)
+        assert source.count("alibrated") >= 8

@@ -1,0 +1,85 @@
+"""The Sec. 4.3 power/energy feasibility model."""
+
+import pytest
+
+from repro.core.power import PowerModel, PowerParams
+from repro.experiments import feasibility
+
+
+class TestTDPBudget:
+    model = PowerModel()
+
+    def test_paper_constants(self):
+        """The two anchors the paper cites: 20 W Centaur, 6.5 W XXV710."""
+        params = PowerParams()
+        assert params.centaur_buffer_tdp_w == 20.0
+        assert params.nic_controller_tdp_w == 6.5
+
+    def test_budget_fits_envelope(self):
+        """The paper's Sec. 4.3 conclusion."""
+        assert self.model.fits_centaur_envelope()
+        assert self.model.tdp_headroom_w() > 0
+
+    def test_breakdown_sums_to_total(self):
+        assert sum(self.model.tdp_breakdown().values()) == pytest.approx(
+            self.model.buffer_device_tdp_w()
+        )
+
+    def test_nic_dominates_the_budget(self):
+        breakdown = self.model.tdp_breakdown()
+        assert breakdown["nNIC (XXV710-class)"] == max(breakdown.values())
+
+    def test_oversized_nic_breaks_envelope(self):
+        hot = PowerModel(PowerParams(nic_controller_tdp_w=25.0))
+        assert not hot.fits_centaur_envelope()
+
+
+class TestPacketEnergy:
+    model = PowerModel()
+
+    def test_energy_scales_with_size(self):
+        for config in ("dnic", "inic", "netdimm"):
+            assert self.model.packet_energy_nj(config, 1514) > (
+                self.model.packet_energy_nj(config, 64)
+            )
+
+    def test_netdimm_beats_dnic(self):
+        for size in (256, 1514):
+            assert self.model.energy_saving(size, baseline="dnic") > 0
+
+    def test_saving_grows_with_size(self):
+        """The clone's advantage is per-byte; small packets are all
+        fixed header traffic."""
+        assert self.model.energy_saving(1514) > self.model.energy_saving(256)
+
+    def test_inic_is_the_energy_winner(self):
+        """Honest accounting: on-die movement is cheapest; the paper
+        claims latency/isolation wins over iNIC, not energy wins."""
+        assert self.model.packet_energy_nj("inic", 1514) < (
+            self.model.packet_energy_nj("netdimm", 1514)
+        )
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.packet_energy_nj("optical", 64)
+
+
+class TestFeasibilityExperiment:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return feasibility.run()
+
+    def test_fits(self, result):
+        assert result.fits
+        assert result.buffer_tdp_w < result.envelope_w
+
+    def test_energy_table_complete(self, result):
+        assert len(result.packet_energy_nj) == len(feasibility.CONFIGS) * len(
+            feasibility.SIZES
+        )
+
+    def test_report(self, result):
+        text = feasibility.format_report(result)
+        assert "Centaur envelope" in text
+        assert "fits" in text
+        assert "nJ" in text

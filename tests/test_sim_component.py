@@ -1,0 +1,32 @@
+"""Component base class."""
+
+from repro.sim import Component, Simulator
+
+
+class TestComponent:
+    def test_binds_simulator_and_name(self, sim):
+        component = Component(sim, "thing")
+        assert component.sim is sim
+        assert component.name == "thing"
+
+    def test_now_tracks_clock(self, sim):
+        component = Component(sim, "thing")
+        sim.schedule(500, lambda: None)
+        sim.run()
+        assert component.now == 500
+
+    def test_stats_owner_is_name(self, sim):
+        component = Component(sim, "mc0")
+        component.stats.sample("latency", 1.0)
+        assert component.stats.histograms["latency"].name == "mc0.latency"
+
+    def test_repr_mentions_class_and_name(self, sim):
+        component = Component(sim, "nd")
+        assert "Component" in repr(component)
+        assert "nd" in repr(component)
+
+    def test_independent_stat_recorders(self, sim):
+        a = Component(sim, "a")
+        b = Component(sim, "b")
+        a.stats.count("x")
+        assert b.stats.get_counter("x") == 0

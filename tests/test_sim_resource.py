@@ -1,0 +1,223 @@
+"""Contention primitives: Resource, Pipe, Queue."""
+
+import pytest
+
+from repro.sim import Pipe, Queue, Resource, SimulationError, Simulator
+from repro.units import GBps
+from tests.conftest import run_process
+
+
+class TestResource:
+    def test_immediate_grant_when_idle(self, sim):
+        resource = Resource(sim, "r")
+        future = resource.acquire()
+        assert future.done
+
+    def test_busy_until_released(self, sim):
+        resource = Resource(sim, "r")
+        resource.acquire()
+        assert resource.busy
+        second = resource.acquire()
+        assert not second.done
+        resource.release()
+        assert second.done
+
+    def test_release_idle_raises(self, sim):
+        with pytest.raises(SimulationError):
+            Resource(sim, "r").release()
+
+    def test_fifo_order(self, sim):
+        resource = Resource(sim, "r")
+        order = []
+
+        def worker(name):
+            yield from resource.use(10)
+            order.append(name)
+
+        for name in "abcd":
+            sim.spawn(worker(name))
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_priority_served_first(self, sim):
+        resource = Resource(sim, "r")
+        order = []
+
+        def holder():
+            yield from resource.use(100)
+            order.append("holder")
+
+        def worker(name, priority):
+            yield 1  # enqueue after the holder owns the resource
+            granted = resource.acquire(priority)
+            yield granted
+            order.append(name)
+            resource.release()
+
+        sim.spawn(holder())
+        sim.spawn(worker("low", priority=5))
+        sim.spawn(worker("high", priority=0))
+        sim.run()
+        assert order == ["holder", "high", "low"]
+
+    def test_use_holds_for_duration(self, sim):
+        resource = Resource(sim, "r")
+        times = []
+
+        def worker():
+            yield from resource.use(50)
+            times.append(sim.now)
+
+        sim.spawn(worker())
+        sim.spawn(worker())
+        sim.run()
+        assert times == [50, 100]
+
+    def test_total_wait_accounting(self, sim):
+        resource = Resource(sim, "r")
+
+        def worker():
+            yield from resource.use(40)
+
+        sim.spawn(worker())
+        sim.spawn(worker())
+        sim.run()
+        assert resource.total_wait_ticks == 40
+        assert resource.total_acquisitions == 2
+
+    def test_queue_length(self, sim):
+        resource = Resource(sim, "r")
+        resource.acquire()
+        resource.acquire()
+        resource.acquire()
+        assert resource.queue_length == 2
+
+    def test_ties_within_priority_are_fifo(self, sim):
+        resource = Resource(sim, "r")
+        order = []
+
+        def worker(name):
+            yield 1
+            yield resource.acquire(priority=1)
+            order.append(name)
+            resource.release()
+
+        def holder():
+            yield from resource.use(10)
+
+        sim.spawn(holder())
+        for name in "xyz":
+            sim.spawn(worker(name))
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+
+class TestPipe:
+    def test_latency_only_for_tiny_message(self, sim):
+        pipe = Pipe(sim, "p", latency=100, bytes_per_ps=GBps(100))
+        arrival = pipe.send(1)
+        sim.run_until(arrival)
+        assert sim.now == 100 + pipe.occupancy_ticks(1)
+
+    def test_bandwidth_limits_serialization(self, sim):
+        pipe = Pipe(sim, "p", latency=0, bytes_per_ps=GBps(1))  # 0.001 B/ps
+        assert pipe.occupancy_ticks(1000) == 1_000_000  # 1 us
+
+    def test_messages_serialize_on_bus(self, sim):
+        pipe = Pipe(sim, "p", latency=10, bytes_per_ps=GBps(1))
+        arrivals = []
+
+        def track(payload):
+            future = pipe.send(1000, payload)
+            future.add_callback(lambda f: arrivals.append((f.value, sim.now)))
+
+        track("first")
+        track("second")
+        sim.run()
+        # Second message waits for the first's serialization.
+        assert arrivals[0] == ("first", 1_000_010)
+        assert arrivals[1] == ("second", 2_000_010)
+
+    def test_payload_delivered(self, sim):
+        pipe = Pipe(sim, "p", latency=5, bytes_per_ps=GBps(10))
+        arrival = pipe.send(64, payload={"id": 1})
+        assert sim.run_until(arrival) == {"id": 1}
+
+    def test_stats_counted(self, sim):
+        pipe = Pipe(sim, "p", latency=5, bytes_per_ps=GBps(10))
+        sim.run_until(pipe.send(128))
+        assert pipe.bytes_sent == 128
+        assert pipe.messages_sent == 1
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            Pipe(sim, "p", latency=-1, bytes_per_ps=1.0)
+
+
+class TestQueue:
+    def test_put_then_get(self, sim):
+        queue = Queue(sim, "q")
+        queue.put("item")
+        future = queue.get()
+        assert future.done
+        assert future.value == "item"
+
+    def test_get_waits_for_put(self, sim):
+        queue = Queue(sim, "q")
+        future = queue.get()
+        assert not future.done
+        queue.put(7)
+        assert future.value == 7
+
+    def test_fifo_ordering(self, sim):
+        queue = Queue(sim, "q")
+        for item in range(5):
+            queue.put(item)
+        values = [queue.get().value for _ in range(5)]
+        assert values == [0, 1, 2, 3, 4]
+
+    def test_waiting_getters_fifo(self, sim):
+        queue = Queue(sim, "q")
+        first = queue.get()
+        second = queue.get()
+        queue.put("a")
+        queue.put("b")
+        assert first.value == "a"
+        assert second.value == "b"
+
+    def test_len_and_peek(self, sim):
+        queue = Queue(sim, "q")
+        assert len(queue) == 0
+        assert queue.peek() is None
+        queue.put("x")
+        assert len(queue) == 1
+        assert queue.peek() == "x"
+        assert len(queue) == 1  # peek does not consume
+
+    def test_max_depth_tracked(self, sim):
+        queue = Queue(sim, "q")
+        for item in range(7):
+            queue.put(item)
+        for _ in range(3):
+            queue.get()
+        assert queue.max_depth == 7
+
+    def test_producer_consumer_processes(self, sim):
+        queue = Queue(sim, "q")
+        consumed = []
+
+        def producer():
+            for item in range(5):
+                yield 10
+                queue.put(item)
+
+        def consumer():
+            for _ in range(5):
+                item = yield queue.get()
+                consumed.append((item, sim.now))
+
+        sim.spawn(producer())
+        process = sim.spawn(consumer())
+        sim.run_until(process.done)
+        assert [item for item, _t in consumed] == [0, 1, 2, 3, 4]
+        assert consumed[-1][1] == 50

@@ -1,0 +1,92 @@
+"""Trace CSV persistence."""
+
+import pytest
+
+from repro.net.topology import Locality
+from repro.workloads.trace_io import load_trace, save_trace
+from repro.workloads.traces import ClusterKind, TraceGenerator, TracePacket
+
+
+class TestRoundTrip:
+    def test_save_load_identity(self, tmp_path):
+        trace = TraceGenerator(ClusterKind.WEBSERVER).generate(200)
+        path = tmp_path / "trace.csv"
+        written = save_trace(trace, path)
+        assert written == 200
+        assert load_trace(path) == trace
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_trace([], path)
+        assert load_trace(path) == []
+
+    def test_handwritten_csv(self, tmp_path):
+        path = tmp_path / "hand.csv"
+        path.write_text(
+            "arrival_ps,size_bytes,locality\n"
+            "1000,64,intra-rack\n"
+            "2000,1514,inter-datacenter\n"
+        )
+        packets = load_trace(path)
+        assert packets == [
+            TracePacket(size_bytes=64, locality=Locality.INTRA_RACK, arrival=1000),
+            TracePacket(
+                size_bytes=1514, locality=Locality.INTER_DATACENTER, arrival=2000
+            ),
+        ]
+
+
+class TestValidation:
+    def write(self, tmp_path, body):
+        path = tmp_path / "bad.csv"
+        path.write_text(body)
+        return path
+
+    def test_missing_header(self, tmp_path):
+        path = self.write(tmp_path, "1000,64,intra-rack\n")
+        with pytest.raises(ValueError, match="header"):
+            load_trace(path)
+
+    def test_wrong_field_count(self, tmp_path):
+        path = self.write(tmp_path, "arrival_ps,size_bytes,locality\n1,2\n")
+        with pytest.raises(ValueError, match="3 fields"):
+            load_trace(path)
+
+    def test_non_integer_size(self, tmp_path):
+        path = self.write(
+            tmp_path, "arrival_ps,size_bytes,locality\n1,big,intra-rack\n"
+        )
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_non_positive_size(self, tmp_path):
+        path = self.write(tmp_path, "arrival_ps,size_bytes,locality\n1,0,intra-rack\n")
+        with pytest.raises(ValueError, match="non-positive"):
+            load_trace(path)
+
+    def test_decreasing_arrivals(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "arrival_ps,size_bytes,locality\n100,64,intra-rack\n50,64,intra-rack\n",
+        )
+        with pytest.raises(ValueError, match="non-decreasing"):
+            load_trace(path)
+
+    def test_unknown_locality(self, tmp_path):
+        path = self.write(tmp_path, "arrival_ps,size_bytes,locality\n1,64,mars\n")
+        with pytest.raises(ValueError, match="locality"):
+            load_trace(path)
+
+    def test_error_includes_line_number(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            "arrival_ps,size_bytes,locality\n1,64,intra-rack\n2,64,mars\n",
+        )
+        with pytest.raises(ValueError, match=":3:"):
+            load_trace(path)
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = self.write(
+            tmp_path, "arrival_ps,size_bytes,locality\n1,64,intra-rack\n\n"
+        )
+        assert len(load_trace(path)) == 1
