@@ -4,11 +4,56 @@ Each benchmark regenerates one table or figure of the paper and prints
 its report, so ``pytest benchmarks/ --benchmark-only`` doubles as the
 full evaluation run.  The printed reports are the reproduction
 deliverable; the timings tell you what each experiment costs.
+
+Every bench session also appends a machine-readable record per test —
+wall-clock seconds, simulator events fired, events/sec — to
+``BENCH_runner.json`` at the repository root (via
+:func:`repro.experiments.harness.append_bench_run`), accumulating the
+perf trajectory that future optimization PRs are measured against.
 """
 
+import pathlib
+import time
+
 import pytest
+
+from repro.experiments.harness import append_bench_run
+from repro.sim import engine
+
+BENCH_ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_runner.json"
+
+_RECORDS = []
 
 
 def report(title: str, text: str) -> None:
     """Print an experiment report under a visible banner."""
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}")
+
+
+@pytest.fixture(autouse=True)
+def _bench_record(request):
+    """Meter every bench test: wall seconds, events fired, events/sec."""
+    events_before = engine.process_events_total()
+    start = time.perf_counter()
+    yield
+    wall = time.perf_counter() - start
+    events = engine.process_events_total() - events_before
+    _RECORDS.append(
+        {
+            "test": request.node.name,
+            "wall_seconds": round(wall, 6),
+            "events_fired": events,
+            "events_per_sec": round(events / wall, 3) if wall > 0 else 0.0,
+        }
+    )
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this session's records to the perf-trajectory artifact."""
+    if _RECORDS:
+        append_bench_run(
+            str(BENCH_ARTIFACT),
+            list(_RECORDS),
+            meta={"exitstatus": int(exitstatus), "tests": len(_RECORDS)},
+        )
+        _RECORDS.clear()

@@ -3,8 +3,11 @@
 Commands
 --------
 
-``experiments [names...]``
+``experiments [names...] [--jobs N] [--json PATH] [--baseline PATH]``
     Run the paper's tables/figures (all by default) and print reports.
+    ``--jobs`` fans experiments (and sweep points) over worker
+    processes; ``--json`` writes the versioned artifact; ``--baseline``
+    diffs against a previous artifact and exits 1 on regressions.
 ``list``
     List available experiments with one-line descriptions.
 ``oneway --nic KIND --size BYTES``
@@ -23,7 +26,12 @@ from typing import List, Optional
 
 from repro.analysis.targets import PAPER_TARGETS
 from repro.experiments.oneway import NIC_KINDS, measure_one_way
-from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    add_runner_arguments,
+    positive_int,
+    run_cli,
+)
 from repro.workloads.trace_io import save_trace
 from repro.workloads.traces import ClusterKind, TraceGenerator
 
@@ -53,13 +61,13 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("experiments", help="run experiments")
-    run.add_argument("names", nargs="*", help="experiment names (default: all)")
+    add_runner_arguments(run)
 
     commands.add_parser("list", help="list available experiments")
 
     oneway = commands.add_parser("oneway", help="measure one packet transfer")
     oneway.add_argument("--nic", choices=NIC_KINDS, default="netdimm")
-    oneway.add_argument("--size", type=int, default=256, metavar="BYTES")
+    oneway.add_argument("--size", type=positive_int, default=256, metavar="BYTES")
 
     trace = commands.add_parser("trace", help="generate a synthetic trace")
     trace.add_argument(
@@ -67,7 +75,7 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=[cluster.value for cluster in ClusterKind],
         default="webserver",
     )
-    trace.add_argument("--count", type=int, default=1000)
+    trace.add_argument("--count", type=positive_int, default=1000)
     trace.add_argument("--seed", type=int, default=2019)
     trace.add_argument("--out", default="-", help="output file ('-' = stdout)")
 
@@ -83,8 +91,6 @@ def _cmd_list() -> str:
 
 
 def _cmd_oneway(nic: str, size: int) -> str:
-    if size <= 0:
-        raise SystemExit("--size must be positive")
     result = measure_one_way(nic, size)
     lines = [f"{nic} one-way latency for a {size} B packet: {result.total_us:.2f} us"]
     for segment, ticks in result.segments.items():
@@ -115,8 +121,13 @@ def _cmd_targets() -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    exit_code = 0
     if args.command == "experiments":
-        output = run_all(args.names or None)
+        try:
+            output, exit_code = run_cli(args)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     elif args.command == "list":
         output = _cmd_list()
     elif args.command == "oneway":
@@ -129,7 +140,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(output)
     except BrokenPipeError:  # e.g. `repro targets | head`
         pass
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

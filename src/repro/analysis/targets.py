@@ -13,7 +13,7 @@ paper from the same registry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -37,6 +37,54 @@ def check_value(name: str, measured: float) -> Tuple[bool, Target]:
     """Check a measurement against the named registry target."""
     target = PAPER_TARGETS[name]
     return target.check(measured), target
+
+
+@dataclass(frozen=True)
+class ArtifactCheck:
+    """One paper-target check re-run against a loaded artifact."""
+
+    experiment: str
+    target: Target
+    measured: float
+
+    @property
+    def ok(self) -> bool:
+        """Whether the artifact's value falls inside the band."""
+        return self.target.check(self.measured)
+
+
+def check_artifact(artifact: Dict[str, Any]) -> List[ArtifactCheck]:
+    """Re-run every applicable paper-target check on a loaded artifact.
+
+    Experiments publish scalar ``metrics`` named after this registry
+    (e.g. ``fig11.improvement_vs_dnic.avg``), so target verification
+    does not need the result objects — a JSON artifact from a previous
+    run (or another machine) is enough.  Returns one check per metric
+    whose name appears in :data:`PAPER_TARGETS`, in artifact order.
+    """
+    checks: List[ArtifactCheck] = []
+    for experiment, entry in artifact.get("experiments", {}).items():
+        for metric, measured in entry.get("metrics", {}).items():
+            target = PAPER_TARGETS.get(metric)
+            if target is not None:
+                checks.append(
+                    ArtifactCheck(
+                        experiment=experiment, target=target, measured=measured
+                    )
+                )
+    return checks
+
+
+def format_artifact_checks(checks: List[ArtifactCheck]) -> str:
+    """Render artifact checks as a pass/fail table."""
+    lines = [f"{'target':<40}{'measured':>10}{'band':>18}  verdict"]
+    for check in checks:
+        band = f"[{check.target.low:g}, {check.target.high:g}]"
+        verdict = "ok" if check.ok else "FAIL"
+        lines.append(
+            f"{check.target.name:<40}{check.measured:>10.3f}{band:>18}  {verdict}"
+        )
+    return "\n".join(lines)
 
 
 PAPER_TARGETS: Dict[str, Target] = {

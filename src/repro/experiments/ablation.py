@@ -54,6 +54,33 @@ class AblationResult:
         """Variant latency / baseline latency at one size."""
         return self.one_way[(variant, size)] / self.one_way[("baseline", size)]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "one_way": [
+                {"variant": variant, "size_bytes": size, "ticks": ticks}
+                for (variant, size), ticks in sorted(self.one_way.items())
+            ],
+            "payload_read": [
+                {"label": label, "degree": degree, "ticks": ticks}
+                for (label, degree), ticks in sorted(self.payload_read.items())
+            ],
+            "clone_latency": [
+                {"mode": mode.value, "size_bytes": size, "ticks": ticks}
+                for (mode, size), ticks in sorted(
+                    self.clone_latency.items(), key=lambda kv: (kv[0][0].value, kv[0][1])
+                )
+            ],
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics for artifact/target checking."""
+        return {
+            f"ablation.slowdown.{variant}.{size}B": self.slowdown(variant, size)
+            for (variant, size) in self.one_way
+            if variant != "baseline"
+        }
+
 
 def _variant_setup(variant: str, params: SystemParams):
     node_kwargs = {}

@@ -45,6 +45,22 @@ class BandwidthResult:
         """Achieved RX rate / nominal line rate."""
         return self.achieved_rx_gbps[config] / line_gbps
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "tx_gbps": dict(self.achieved_gbps),
+            "rx_gbps": dict(self.achieved_rx_gbps),
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics named after the paper-target registry."""
+        metrics = {"bandwidth.netdimm_gbps": self.achieved_gbps["netdimm"]}
+        for config, gbps in self.achieved_gbps.items():
+            metrics[f"bandwidth.tx.{config}_gbps"] = gbps
+        for config, gbps in self.achieved_rx_gbps.items():
+            metrics[f"bandwidth.rx.{config}_gbps"] = gbps
+        return metrics
+
 
 def _stream(config: str, params: SystemParams, packets: int) -> float:
     sim = Simulator()

@@ -36,6 +36,29 @@ class FeasibilityResult:
             / self.packet_energy_nj[(baseline, size)]
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "tdp_breakdown": dict(self.tdp_breakdown),
+            "buffer_tdp_w": self.buffer_tdp_w,
+            "envelope_w": self.envelope_w,
+            "fits": self.fits,
+            "packet_energy_nj": [
+                {"config": config, "size_bytes": size, "nj": nj}
+                for (config, size), nj in sorted(self.packet_energy_nj.items())
+            ],
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics for artifact/target checking."""
+        metrics = {
+            "feasibility.buffer_tdp_w": self.buffer_tdp_w,
+            "feasibility.fits": 1.0 if self.fits else 0.0,
+        }
+        for size in SIZES:
+            metrics[f"feasibility.energy_saving.{size}B"] = self.energy_saving(size)
+        return metrics
+
 
 def run(params: Optional[PowerParams] = None) -> FeasibilityResult:
     """Evaluate the power model."""

@@ -52,6 +52,32 @@ class Fig11Result:
         )
         return overhead / result.total_ticks
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "sizes": list(self.sizes),
+            "results": [self.results[key].to_dict() for key in sorted(self.results)],
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics named after the paper-target registry."""
+        metrics = {
+            "fig11.improvement_vs_dnic.avg": self.average_improvement("dnic"),
+            "fig11.improvement_vs_inic.avg": self.average_improvement("inic"),
+        }
+        for size in QUOTED_SIZES:
+            if ("netdimm", size) in self.results:
+                metrics[f"fig11.improvement_vs_dnic.{size}B"] = self.improvement(
+                    "dnic", size
+                )
+        if ("netdimm", 64) in self.results:
+            metrics["fig11.flush_invalidate_share.64B"] = self.flush_invalidate_share(64)
+            metrics["fig11.dnic_total_us.64B"] = self.results[("dnic", 64)].total_us
+            metrics["fig11.netdimm_total_us.64B"] = self.results[
+                ("netdimm", 64)
+            ].total_us
+        return metrics
+
 
 def run(
     params: Optional[SystemParams] = None,

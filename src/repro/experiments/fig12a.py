@@ -61,6 +61,39 @@ class Fig12aResult:
         ]
         return sum(values) / len(values)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "mean_latency": [
+                {
+                    "cluster": cluster.value,
+                    "config": config,
+                    "switch_ns": switch_ns,
+                    "ticks": ticks,
+                }
+                for (cluster, config, switch_ns), ticks in sorted(
+                    self.mean_latency.items(),
+                    key=lambda kv: (kv[0][0].value, kv[0][1], kv[0][2]),
+                )
+            ]
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics named after the paper-target registry."""
+        switch_points = sorted(
+            {switch_ns for (_c, _cfg, switch_ns) in self.mean_latency}
+        )
+        metrics: Dict[str, float] = {}
+        for switch_ns in (25, 200):
+            if switch_ns in switch_points:
+                metrics[f"fig12a.improvement_vs_dnic.{switch_ns}ns"] = (
+                    self.average_improvement("dnic", switch_ns)
+                )
+        metrics["fig12a.improvement_vs_inic.max"] = max(
+            self.average_improvement("inic", switch_ns) for switch_ns in switch_points
+        )
+        return metrics
+
 
 def run(
     params: Optional[SystemParams] = None,

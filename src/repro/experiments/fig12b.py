@@ -65,6 +65,36 @@ class Fig12bResult:
         values = [1 - self.normalized(cluster, nf) for nf in NetworkFunction]
         return sum(values) / len(values)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "amat": [
+                {
+                    "cluster": cluster.value,
+                    "nf": nf.value,
+                    "config": config,
+                    "ticks": ticks,
+                }
+                for (cluster, nf, config), ticks in sorted(
+                    self.amat.items(),
+                    key=lambda kv: (kv[0][0].value, kv[0][1].value, kv[0][2]),
+                )
+            ]
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics named after the paper-target registry."""
+        return {
+            "fig12b.dpi_worst_penalty": max(
+                self.normalized(cluster, NetworkFunction.DPI) - 1
+                for cluster in ClusterKind
+            ),
+            "fig12b.l3f_best_improvement": max(
+                1 - self.normalized(cluster, NetworkFunction.L3F)
+                for cluster in ClusterKind
+            ),
+        }
+
 
 def _run_scenario(
     params: SystemParams,

@@ -56,6 +56,39 @@ class Fig4Result:
         zcpy = self.latency[(f"{config}.zcpy", size)].total_ticks
         return 1 - zcpy / base
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "latency": [
+                self.latency[key].to_dict() for key in sorted(self.latency)
+            ],
+            "pcie_overhead_fraction": [
+                {"config": config, "size_bytes": size, "fraction": fraction}
+                for (config, size), fraction in sorted(
+                    self.pcie_overhead_fraction.items()
+                )
+            ],
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics named after the paper-target registry."""
+        sizes = self.measured_sizes("dnic")
+        improvements = [self.inic_improvement(size) for size in sizes]
+        metrics = {
+            "fig4.inic_improvement.min": min(improvements),
+            "fig4.inic_improvement.max": max(improvements),
+        }
+        for size in (10, 2000):
+            if ("inic.zcpy", size) in self.latency:
+                metrics[f"fig4.zcpy_improvement.{size}B"] = self.zcpy_improvement(
+                    "inic", size
+                )
+            if ("dnic.zcpy", size) in self.pcie_overhead_fraction:
+                metrics[f"fig4.pcie_fraction.{size}B"] = self.pcie_overhead_fraction[
+                    ("dnic.zcpy", size)
+                ]
+        return metrics
+
 
 def run(params: Optional[SystemParams] = None, sizes: Tuple[int, ...] = PACKET_SIZES) -> Fig4Result:
     """Measure every configuration at every size."""

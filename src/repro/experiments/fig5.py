@@ -47,6 +47,24 @@ class Fig5Result:
         """Bandwidth at maximum pressure / unloaded (paper: ~27.9%)."""
         return self.bandwidth_gbps[0] / self.unloaded_gbps
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "bandwidth_gbps": [
+                {"inject_delay_ns": delay, "gbps": gbps}
+                for delay, gbps in self.bandwidth_gbps.items()
+            ]
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics named after the paper-target registry."""
+        metrics: Dict[str, float] = {}
+        if None in self.bandwidth_gbps:
+            metrics["fig5.unloaded_gbps"] = self.unloaded_gbps
+            if 0 in self.bandwidth_gbps:
+                metrics["fig5.max_pressure_fraction"] = self.max_pressure_fraction
+        return metrics
+
 
 def _one_point(
     params: SystemParams, delay_ns: Optional[int], packets: int, threads: int

@@ -10,7 +10,7 @@ argument for nCache + the next-line nPrefetcher.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.nic.dma import DMABurstTrace, dma_burst_trace
 from repro.params import DEFAULT, SystemParams
@@ -42,6 +42,26 @@ class Fig7Result:
         """Span of one burst in nanoseconds (paper: 143 ns for #3)."""
         burst = self.bursts[index]
         return (burst[-1][0] - burst[0][0]) / 1000
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "burst_count": self.burst_count,
+            "lines_per_burst": list(self.lines_per_burst),
+            "burst_durations_ns": [
+                self.burst_duration_ns(index) for index in range(self.burst_count)
+            ],
+            "accesses": [list(access) for access in self.trace.accesses],
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics named after the paper-target registry."""
+        metrics: Dict[str, float] = {"fig7.burst_count": float(self.burst_count)}
+        if self.burst_count >= 3:
+            # The paper quotes the *third* packet's burst.
+            metrics["fig7.lines_per_burst"] = float(self.lines_per_burst[2])
+            metrics["fig7.third_burst_ns"] = self.burst_duration_ns(2)
+        return metrics
 
 
 def run(params: Optional[SystemParams] = None) -> Fig7Result:

@@ -1,0 +1,599 @@
+"""Parallel experiment harness with machine-readable artifacts.
+
+The plain :mod:`repro.experiments.runner` walks the registry serially
+and prints free text.  This layer turns an experiment run into a
+*measured, parallelizable, diffable* object:
+
+* experiments fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs > 1``) or run inline (``jobs == 1`` — the debuggable CI
+  fallback);
+* the sweep-heavy experiments (``fig5``, ``fig11``, ``fig12a``,
+  ``loaded_latency``) additionally shard *inside* the experiment, one
+  task per sweep point, and are merged back into the exact result
+  object the serial ``run()`` would have built;
+* every experiment gets run metadata — wall-clock seconds, simulator
+  events fired (via :func:`repro.sim.engine.process_events_total`),
+  events/sec — kept in a ``timing`` section *separate* from results so
+  artifacts stay byte-for-byte comparable across machines;
+* the whole run serializes to a versioned JSON artifact
+  (:data:`SCHEMA_VERSION`), and two artifacts diff with
+  :func:`diff_artifacts`, flagging paper-target regressions.
+
+Determinism is the contract: each task builds its own
+:class:`~repro.sim.Simulator` (the seq-ordered event heap makes a
+single simulation deterministic), tasks share no state, and merge
+order is the submission order — so a ``--jobs 4`` run's per-experiment
+results are byte-for-byte identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.targets import PAPER_TARGETS
+from repro.experiments import fig5, fig11, fig12a, loaded_latency
+from repro.experiments.oneway import measure_one_way
+from repro.experiments.runner import EXPERIMENTS, normalize_names
+from repro.net.topology import ClosTopology
+from repro.params import DEFAULT
+from repro.sim import engine
+from repro.units import ns
+from repro.workloads.traces import TraceGenerator
+
+SCHEMA = "netdimm-repro/experiment-artifact"
+SCHEMA_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# Sharded experiments: one task per sweep point, deterministic merge.
+# ---------------------------------------------------------------------------
+
+
+class ShardedExperiment:
+    """A sweep experiment split into independent, picklable point tasks.
+
+    ``run_shard(i)`` must be pure (fresh simulator, no shared state) and
+    ``merge`` must rebuild exactly the result object the experiment's
+    serial ``run()`` produces, so sharding is invisible in the artifact.
+    """
+
+    name: str = ""
+
+    def shard_count(self) -> int:
+        raise NotImplementedError
+
+    def run_shard(self, index: int) -> Any:
+        raise NotImplementedError
+
+    def merge(self, payloads: List[Any]) -> Any:
+        raise NotImplementedError
+
+
+class _Fig5Shards(ShardedExperiment):
+    """One task per injector-delay point of the Fig. 5 pressure sweep."""
+
+    name = "fig5"
+
+    def shard_count(self) -> int:
+        return len(fig5.INJECT_DELAYS_NS)
+
+    def run_shard(self, index: int) -> float:
+        delay_ns = fig5.INJECT_DELAYS_NS[index]
+        return fig5._one_point(DEFAULT, delay_ns, fig5.PACKETS_PER_POINT, 16)
+
+    def merge(self, payloads: List[Any]) -> fig5.Fig5Result:
+        return fig5.Fig5Result(
+            bandwidth_gbps=dict(zip(fig5.INJECT_DELAYS_NS, payloads))
+        )
+
+
+class _Fig11Shards(ShardedExperiment):
+    """One task per (config, size) cell of the Fig. 11 latency matrix."""
+
+    name = "fig11"
+
+    def __init__(self) -> None:
+        self.sizes = tuple(
+            sorted(set(fig11.PACKET_SIZES) | set(fig11.QUOTED_SIZES))
+        )
+        self.cells = [
+            (config, size) for config in fig11.CONFIGS for size in self.sizes
+        ]
+
+    def shard_count(self) -> int:
+        return len(self.cells)
+
+    def run_shard(self, index: int):
+        config, size = self.cells[index]
+        return measure_one_way(config, size, DEFAULT)
+
+    def merge(self, payloads: List[Any]) -> fig11.Fig11Result:
+        return fig11.Fig11Result(
+            results=dict(zip(self.cells, payloads)), sizes=self.sizes
+        )
+
+
+class _Fig12aShards(ShardedExperiment):
+    """One task per (cluster, switch latency, config) trace replay."""
+
+    name = "fig12a"
+
+    def __init__(self) -> None:
+        from repro.workloads.traces import ClusterKind
+
+        self.cells = [
+            (cluster, switch_ns, config)
+            for cluster in ClusterKind
+            for switch_ns in fig12a.SWITCH_LATENCIES_NS
+            for config in fig12a.CONFIGS
+        ]
+
+    def shard_count(self) -> int:
+        return len(self.cells)
+
+    def run_shard(self, index: int) -> float:
+        cluster, switch_ns, config = self.cells[index]
+        params = DEFAULT
+        trace = TraceGenerator(cluster, seed=2019).generate(
+            fig12a.PACKETS_PER_CLUSTER
+        )
+        fabric = ClosTopology(
+            params=params.with_switch_latency(ns(switch_ns)).network
+        )
+        host_cache: Dict[int, int] = {}
+        total = 0
+        for packet in trace:
+            bucket = fig12a._size_bucket(packet.size_bytes)
+            if bucket not in host_cache:
+                host_cache[bucket] = measure_one_way(
+                    config, bucket, params
+                ).host_ticks()
+            endhost_wire = (
+                2 * params.network.mac_phy_latency
+                + fabric.params.propagation
+                + fig12a._serialization(packet.size_bytes, params)
+            )
+            total += (
+                host_cache[bucket]
+                + endhost_wire
+                + fabric.path_latency(packet.size_bytes, packet.locality)
+            )
+        return total / len(trace)
+
+    def merge(self, payloads: List[Any]) -> fig12a.Fig12aResult:
+        mean_latency = {
+            (cluster, config, switch_ns): payload
+            for (cluster, switch_ns, config), payload in zip(self.cells, payloads)
+        }
+        return fig12a.Fig12aResult(mean_latency=mean_latency)
+
+
+class _LoadedLatencyShards(ShardedExperiment):
+    """Tasks: one DRAM probe per pressure level + one one-way baseline
+    per (config, size); merged with the serial run's exact formula."""
+
+    name = "loaded_latency"
+
+    def __init__(self) -> None:
+        self.probes = list(loaded_latency.PRESSURES)
+        self.bases = [
+            (config, size)
+            for config in loaded_latency.CONFIGS
+            for size in loaded_latency.SIZES
+        ]
+
+    def shard_count(self) -> int:
+        return len(self.probes) + len(self.bases)
+
+    def run_shard(self, index: int) -> float:
+        if index < len(self.probes):
+            pressure = self.probes[index]
+            return loaded_latency._probe_dram_latency(
+                DEFAULT, loaded_latency._DELAYS[pressure]
+            )
+        config, size = self.bases[index - len(self.probes)]
+        return measure_one_way(config, size, DEFAULT).total_ticks
+
+    def merge(self, payloads: List[Any]) -> loaded_latency.LoadedLatencyResult:
+        dram_latency = dict(zip(self.probes, payloads))
+        bases = dict(zip(self.bases, payloads[len(self.probes) :]))
+        idle_dram = dram_latency["idle"]
+        latency: Dict[Tuple[str, str, int], float] = {}
+        for config in loaded_latency.CONFIGS:
+            for size in loaded_latency.SIZES:
+                base = bases[(config, size)]
+                for pressure in loaded_latency.PRESSURES:
+                    extra_per_line = (
+                        max(0.0, dram_latency[pressure] - idle_dram) * 1000
+                    )
+                    latency[(pressure, config, size)] = base + (
+                        extra_per_line
+                        * loaded_latency.host_dram_lines(config, size)
+                    )
+        return loaded_latency.LoadedLatencyResult(
+            latency=latency, dram_latency_ns=dram_latency
+        )
+
+
+def _sharded_experiments() -> Dict[str, ShardedExperiment]:
+    return {
+        spec.name: spec
+        for spec in (
+            _Fig5Shards(),
+            _Fig11Shards(),
+            _Fig12aShards(),
+            _LoadedLatencyShards(),
+        )
+    }
+
+
+# ---------------------------------------------------------------------------
+# Task execution.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _TaskOutcome:
+    """One executed task: the payload plus its run metadata."""
+
+    name: str
+    shard: Optional[int]
+    payload: Any
+    wall_seconds: float
+    events_fired: int
+
+
+def _execute_task(task: Tuple[str, Optional[int]]) -> _TaskOutcome:
+    """Run one task (whole experiment or one shard) in this process."""
+    name, shard = task
+    events_before = engine.process_events_total()
+    start = time.perf_counter()
+    if shard is None:
+        run, _format = EXPERIMENTS[name]
+        payload = run()
+    else:
+        payload = _sharded_experiments()[name].run_shard(shard)
+    wall = time.perf_counter() - start
+    events = engine.process_events_total() - events_before
+    return _TaskOutcome(
+        name=name, shard=shard, payload=payload, wall_seconds=wall, events_fired=events
+    )
+
+
+# ---------------------------------------------------------------------------
+# The harness run.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ExperimentRun:
+    """One experiment's merged result plus aggregated run metadata."""
+
+    name: str
+    result: Any
+    report: str
+    wall_seconds: float
+    events_fired: int
+    shards: int
+
+    @property
+    def events_per_sec(self) -> float:
+        """Simulator event throughput (0 when nothing fired)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.events_fired / self.wall_seconds
+
+    def timing_dict(self) -> Dict[str, float]:
+        """The timing section entry (kept out of the result section)."""
+        return {
+            "wall_seconds": round(self.wall_seconds, 6),
+            "events_fired": self.events_fired,
+            "events_per_sec": round(self.events_per_sec, 3),
+            "shards": self.shards,
+        }
+
+
+@dataclass
+class HarnessRun:
+    """A completed harness invocation over one or more experiments."""
+
+    jobs: int
+    names: List[str]
+    records: Dict[str, ExperimentRun]
+    wall_seconds: float = 0.0
+
+    def report_text(self) -> str:
+        """The concatenated text reports (the runner's classic output)."""
+        sections = [
+            f"{'=' * 72}\n{self.records[name].report}\n" for name in self.names
+        ]
+        return "\n".join(sections)
+
+    def to_artifact(self) -> Dict[str, Any]:
+        """The versioned, JSON-safe artifact (schema v1).
+
+        ``experiments`` holds only deterministic content; wall-clock and
+        event-rate metadata live under ``timing`` so that two runs of
+        the same code diff clean regardless of machine speed.
+        """
+        experiments: Dict[str, Any] = {}
+        timing: Dict[str, Any] = {}
+        for name in self.names:
+            record = self.records[name]
+            result = record.result
+            experiments[name] = {
+                "result": result.to_dict() if hasattr(result, "to_dict") else None,
+                "metrics": result.metrics() if hasattr(result, "metrics") else {},
+                "report_sha256": hashlib.sha256(
+                    record.report.encode("utf-8")
+                ).hexdigest(),
+            }
+            timing[name] = record.timing_dict()
+        return {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "run": {"jobs": self.jobs, "experiments": list(self.names)},
+            "experiments": experiments,
+            "timing": {
+                "total_wall_seconds": round(self.wall_seconds, 6),
+                "per_experiment": timing,
+            },
+        }
+
+    def write_artifact(self, path: str) -> Dict[str, Any]:
+        """Serialize :meth:`to_artifact` to ``path``; returns the dict."""
+        artifact = self.to_artifact()
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(artifact, handle, indent=2, sort_keys=False)
+                handle.write("\n")
+        except OSError as error:
+            raise ValueError(
+                f"{path}: cannot write artifact ({error.strerror})"
+            ) from error
+        return artifact
+
+
+def _plan_tasks(
+    names: Sequence[str],
+) -> List[Tuple[str, Optional[int]]]:
+    """Expand experiment names into the task list, sharding sweeps."""
+    sharded = _sharded_experiments()
+    tasks: List[Tuple[str, Optional[int]]] = []
+    for name in names:
+        if name in sharded:
+            tasks.extend(
+                (name, index) for index in range(sharded[name].shard_count())
+            )
+        else:
+            tasks.append((name, None))
+    return tasks
+
+
+def run_experiments(
+    names: Optional[Sequence[str]] = None,
+    jobs: int = 1,
+    executor_factory: Optional[Callable[[int], Any]] = None,
+) -> HarnessRun:
+    """Run the named experiments (all by default) across ``jobs`` workers.
+
+    ``jobs == 1`` executes every task inline (no subprocesses — the
+    debuggable fallback); ``jobs > 1`` fans tasks out over a process
+    pool.  Either way, per-experiment results are identical: tasks are
+    deterministic and merged in submission order.
+
+    Raises :class:`ValueError` for unknown experiment names or a
+    non-positive ``jobs``.
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    names = normalize_names(names)
+    tasks = _plan_tasks(names)
+
+    start = time.perf_counter()
+    if jobs == 1:
+        outcomes = [_execute_task(task) for task in tasks]
+    else:
+        factory = executor_factory or (
+            lambda workers: concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            )
+        )
+        with factory(min(jobs, len(tasks) or 1)) as executor:
+            # map() preserves submission order, which is merge order.
+            outcomes = list(executor.map(_execute_task, tasks))
+    total_wall = time.perf_counter() - start
+
+    sharded = _sharded_experiments()
+    records: Dict[str, ExperimentRun] = {}
+    for name in names:
+        mine = [outcome for outcome in outcomes if outcome.name == name]
+        if name in sharded:
+            result = sharded[name].merge([outcome.payload for outcome in mine])
+        else:
+            result = mine[0].payload
+        _run, format_report = EXPERIMENTS[name]
+        records[name] = ExperimentRun(
+            name=name,
+            result=result,
+            report=format_report(result),
+            wall_seconds=sum(outcome.wall_seconds for outcome in mine),
+            events_fired=sum(outcome.events_fired for outcome in mine),
+            shards=len(mine),
+        )
+    return HarnessRun(
+        jobs=jobs, names=list(names), records=records, wall_seconds=total_wall
+    )
+
+
+# ---------------------------------------------------------------------------
+# Artifact loading and diffing.
+# ---------------------------------------------------------------------------
+
+
+def load_artifact(path: str) -> Dict[str, Any]:
+    """Load and validate an artifact file written by :class:`HarnessRun`."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            artifact = json.load(handle)
+    except OSError as error:
+        raise ValueError(f"{path}: cannot read artifact ({error.strerror})") from error
+    except json.JSONDecodeError as error:
+        raise ValueError(f"{path}: not valid JSON ({error})") from error
+    if not isinstance(artifact, dict) or artifact.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: not a {SCHEMA} artifact")
+    version = artifact.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: artifact schema_version {version!r} unsupported "
+            f"(this build reads version {SCHEMA_VERSION})"
+        )
+    return artifact
+
+
+@dataclass
+class ArtifactDiff:
+    """The comparison of a current artifact against a baseline."""
+
+    notes: List[str] = field(default_factory=list)
+    regressions: List[str] = field(default_factory=list)
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressions)
+
+    def format(self) -> str:
+        lines = ["artifact diff vs. baseline:"]
+        lines.extend(f"  {note}" for note in self.notes)
+        if self.regressions:
+            lines.append(f"REGRESSIONS ({len(self.regressions)}):")
+            lines.extend(f"  - {regression}" for regression in self.regressions)
+        else:
+            lines.append("no regressions")
+        return "\n".join(lines)
+
+
+def _target_ok(name: str, value: float) -> Optional[bool]:
+    """Band check when the metric name is a paper target, else None."""
+    target = PAPER_TARGETS.get(name)
+    if target is None:
+        return None
+    return target.check(value)
+
+
+def diff_artifacts(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    tolerance: float = 0.0,
+) -> ArtifactDiff:
+    """Compare two artifacts; flag regressions.
+
+    A *regression* is: an experiment present in the baseline but absent
+    now; a paper-target metric that passed its acceptance band in the
+    baseline but fails it now; or a metric drifting more than
+    ``tolerance`` (relative) while its band check worsens.  Pure drift
+    within bands and result-dict changes are reported as notes.
+    """
+    diff = ArtifactDiff()
+    current_experiments = current.get("experiments", {})
+    baseline_experiments = baseline.get("experiments", {})
+
+    for name, baseline_entry in baseline_experiments.items():
+        current_entry = current_experiments.get(name)
+        if current_entry is None:
+            diff.regressions.append(f"{name}: missing from current run")
+            continue
+        if current_entry.get("result") == baseline_entry.get("result"):
+            diff.notes.append(f"{name}: identical")
+        else:
+            diff.notes.append(f"{name}: result changed")
+        baseline_metrics = baseline_entry.get("metrics", {})
+        current_metrics = current_entry.get("metrics", {})
+        for metric, baseline_value in baseline_metrics.items():
+            if metric not in current_metrics:
+                diff.regressions.append(f"{name}: metric {metric} disappeared")
+                continue
+            current_value = current_metrics[metric]
+            scale = max(1.0, abs(baseline_value))
+            drifted = abs(current_value - baseline_value) > tolerance * scale
+            was_ok = _target_ok(metric, baseline_value)
+            now_ok = _target_ok(metric, current_value)
+            if was_ok and now_ok is False:
+                target = PAPER_TARGETS[metric]
+                diff.regressions.append(
+                    f"{name}: {metric} left its paper band "
+                    f"[{target.low:g}, {target.high:g}]: "
+                    f"{baseline_value:.6g} -> {current_value:.6g}"
+                )
+            elif drifted and current_value != baseline_value:
+                diff.notes.append(
+                    f"{name}: {metric} drifted "
+                    f"{baseline_value:.6g} -> {current_value:.6g}"
+                )
+    for name in current_experiments:
+        if name not in baseline_experiments:
+            diff.notes.append(f"{name}: new experiment (not in baseline)")
+
+    current_timing = current.get("timing", {}).get("per_experiment", {})
+    baseline_timing = baseline.get("timing", {}).get("per_experiment", {})
+    for name, baseline_entry in baseline_timing.items():
+        current_entry = current_timing.get(name)
+        if not current_entry:
+            continue
+        base_rate = baseline_entry.get("events_per_sec") or 0
+        now_rate = current_entry.get("events_per_sec") or 0
+        if base_rate > 0 and now_rate > 0 and now_rate < base_rate / 2:
+            diff.notes.append(
+                f"{name}: events/sec dropped {base_rate:.0f} -> {now_rate:.0f} "
+                "(perf, informational)"
+            )
+    return diff
+
+
+# ---------------------------------------------------------------------------
+# Bench-trajectory emitter (BENCH_runner.json).
+# ---------------------------------------------------------------------------
+
+
+def append_bench_run(
+    path: str,
+    records: List[Dict[str, Any]],
+    meta: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Append one benchmark run (a list of per-test records) to ``path``.
+
+    The file accumulates a perf trajectory across sessions::
+
+        {"schema": ..., "schema_version": 1,
+         "runs": [{"timestamp": ..., "records": [...]}, ...]}
+
+    A missing or unreadable file starts a fresh trajectory.
+    """
+    document: Dict[str, Any] = {
+        "schema": "netdimm-repro/bench-trajectory",
+        "schema_version": 1,
+        "runs": [],
+    }
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+        if isinstance(existing, dict) and isinstance(existing.get("runs"), list):
+            document = existing
+    except (OSError, ValueError):
+        pass
+    run_entry: Dict[str, Any] = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "records": records,
+    }
+    if meta:
+        run_entry["meta"] = meta
+    document["runs"].append(run_entry)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
+        handle.write("\n")
+    return document

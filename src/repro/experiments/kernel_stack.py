@@ -39,6 +39,34 @@ class KernelStackResult:
         table = self.bare if mode == "bare" else self.kernel
         return table[("dnic", size)] - table[("netdimm", size)]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "bare": [
+                {"config": config, "size_bytes": size, "ticks": ticks}
+                for (config, size), ticks in sorted(self.bare.items())
+            ],
+            "kernel": [
+                {"config": config, "size_bytes": size, "ticks": ticks}
+                for (config, size), ticks in sorted(self.kernel.items())
+            ],
+            "stack_overhead": {
+                str(size): ticks for size, ticks in sorted(self.stack_overhead.items())
+            },
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics for artifact/target checking."""
+        metrics: Dict[str, float] = {}
+        for size in sorted(self.stack_overhead):
+            metrics[f"kernel_stack.improvement.bare.{size}B"] = self.improvement(
+                "bare", size
+            )
+            metrics[f"kernel_stack.improvement.kernel.{size}B"] = self.improvement(
+                "kernel", size
+            )
+        return metrics
+
 
 def run(
     params: Optional[SystemParams] = None,

@@ -71,6 +71,34 @@ class LoadedLatencyResult:
         netdimm = self.latency[(pressure, "netdimm", size)]
         return 1 - netdimm / dnic
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "latency": [
+                {
+                    "pressure": pressure,
+                    "config": config,
+                    "size_bytes": size,
+                    "ticks": ticks,
+                }
+                for (pressure, config, size), ticks in sorted(self.latency.items())
+            ],
+            "dram_latency_ns": dict(self.dram_latency_ns),
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics for artifact/target checking."""
+        metrics: Dict[str, float] = {}
+        for size in SIZES:
+            for pressure in PRESSURES:
+                metrics[f"loaded_latency.netdimm_advantage.{pressure}.{size}B"] = (
+                    self.netdimm_advantage(size, pressure)
+                )
+            metrics[f"loaded_latency.netdimm_growth.{size}B"] = self.degradation(
+                "netdimm", size
+            )
+        return metrics
+
 
 def _probe_dram_latency(params: SystemParams, delay: Optional[int]) -> float:
     """Mean DRAM round trip (ns) on a channel under MLC pressure."""

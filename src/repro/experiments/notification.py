@@ -41,6 +41,26 @@ class NotificationResult:
         netdimm = self.latency[(mode, "netdimm", size)]
         return 1 - netdimm / dnic
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "latency": [
+                {"mode": mode, "config": config, "size_bytes": size, "ticks": ticks}
+                for (mode, config, size), ticks in sorted(self.latency.items())
+            ]
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics for artifact/target checking."""
+        metrics: Dict[str, float] = {}
+        for mode in MODES:
+            for size in SIZES:
+                if (mode, "dnic", size) in self.latency:
+                    metrics[f"notification.netdimm_improvement.{mode}.{size}B"] = (
+                        self.netdimm_improvement(mode, size)
+                    )
+        return metrics
+
 
 def run(params: Optional[SystemParams] = None) -> NotificationResult:
     """Measure every (mode, config, size) combination."""

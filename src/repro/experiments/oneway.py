@@ -68,6 +68,15 @@ class OneWayResult:
         which substitutes the clos fabric for the point-to-point wire)."""
         return self.total_ticks - self.segments.get("wire", 0)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "nic_kind": self.nic_kind,
+            "size_bytes": self.size_bytes,
+            "total_ticks": self.total_ticks,
+            "segments": dict(self.segments),
+        }
+
 
 def measure_one_way(
     nic_kind: str,

@@ -2,14 +2,21 @@
 
 Usage::
 
-    python -m repro.experiments.runner            # everything
-    python -m repro.experiments.runner fig11 fig5 # a subset
+    python -m repro.experiments.runner                    # everything
+    python -m repro.experiments.runner fig11 fig5         # a subset
+    python -m repro.experiments.runner --jobs 4 --json out.json
+    python -m repro.experiments.runner --baseline old.json
+
+``run_all`` remains the simple serial library entry point; the CLI
+delegates to :mod:`repro.experiments.harness` for parallel execution,
+JSON artifacts, and baseline diffing.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments import (
     ablation,
@@ -46,26 +53,107 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[], object], Callable[[object], str]]] = {
 }
 
 
-def run_all(names=None) -> str:
-    """Run the named experiments (all by default); returns the report."""
-    names = list(names or EXPERIMENTS)
-    sections = []
+def normalize_names(names: Optional[Sequence[str]]) -> List[str]:
+    """Validate and de-duplicate experiment names, preserving order.
+
+    ``None`` (or empty) means every experiment.  Unknown names raise
+    :class:`ValueError` — library code never calls :func:`sys.exit`;
+    the CLI entry points translate to a clean exit.
+    """
+    if not names:
+        return list(EXPERIMENTS)
+    seen: List[str] = []
     for name in names:
         if name not in EXPERIMENTS:
-            raise SystemExit(
+            raise ValueError(
                 f"unknown experiment {name!r}; choose from {', '.join(EXPERIMENTS)}"
             )
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def run_all(names=None) -> str:
+    """Run the named experiments (all by default); returns the report."""
+    sections = []
+    for name in normalize_names(names):
         run, format_report = EXPERIMENTS[name]
         result = run()
         sections.append(f"{'=' * 72}\n{format_report(result)}\n")
     return "\n".join(sections)
 
 
-def main() -> None:
+def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared runner flags (used here and by ``repro`` CLI)."""
+    parser.add_argument(
+        "names", nargs="*", help="experiment names (default: all)"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = run inline, the debuggable fallback)",
+    )
+    parser.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the versioned JSON artifact to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="diff this run against a previous artifact and flag regressions",
+    )
+
+
+def positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}") from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def run_cli(args: argparse.Namespace) -> Tuple[str, int]:
+    """Execute a parsed runner invocation; returns (output, exit code)."""
+    from repro.experiments import harness
+
+    run = harness.run_experiments(args.names or None, jobs=args.jobs)
+    output = run.report_text()
+    exit_code = 0
+    if args.json_path:
+        run.write_artifact(args.json_path)
+        output += f"\nwrote artifact: {args.json_path}"
+    if args.baseline:
+        baseline = harness.load_artifact(args.baseline)
+        diff = harness.diff_artifacts(run.to_artifact(), baseline)
+        output += "\n" + diff.format()
+        if diff.has_regressions:
+            exit_code = 1
+    return output, exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
-    names = sys.argv[1:] or None
-    print(run_all(names))
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="run the paper's experiments",
+    )
+    add_runner_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        output, exit_code = run_cli(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(output)
+    return exit_code
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

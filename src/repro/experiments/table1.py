@@ -18,6 +18,14 @@ class Table1Result:
 
     rows: Dict[str, str]
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {"rows": dict(self.rows)}
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics for artifact/target checking."""
+        return {"table1.rows": float(len(self.rows))}
+
 
 def run(params: Optional[SystemParams] = None) -> Table1Result:
     """Collect the configuration rows."""

@@ -43,6 +43,21 @@ class TransactionsResult:
         """NetDIMM uses no PCIe at all."""
         return 0
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe rendering (artifact schema v1)."""
+        return {
+            "client_traversals": self.client_traversals,
+            "server_traversals": self.server_traversals,
+            "breakdown": dict(self.breakdown),
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics for artifact/target checking."""
+        return {
+            "transactions.per_host": float(self.per_host),
+            "transactions.netdimm": float(self.netdimm_traversals),
+        }
+
 
 def _count(link) -> int:
     """One-way traversals from a link's counters."""

@@ -27,6 +27,19 @@ from typing import Any, Callable, Generator, Iterable, Optional
 
 ProcessBody = Generator[Any, Any, Any]
 
+_events_fired_total = 0
+"""Events executed by every :class:`Simulator` in this OS process.
+
+Experiments build many short-lived simulators; this monotonic total
+lets a harness meter the event throughput of a whole experiment (the
+delta across a call) without threading every simulator instance out.
+"""
+
+
+def process_events_total() -> int:
+    """Monotonic count of events executed by all simulators in this process."""
+    return _events_fired_total
+
 
 class SimulationError(RuntimeError):
     """Raised for misuse of the simulation kernel (not for model errors)."""
@@ -262,37 +275,45 @@ class Simulator:
 
         Returns the simulated time at exit.
         """
+        global _events_fired_total
         executed = 0
-        while self._queue:
-            when, _seq, fn, args = self._queue[0]
-            if until is not None and when > until:
+        try:
+            while self._queue:
+                when, _seq, fn, args = self._queue[0]
+                if until is not None and when > until:
+                    self._now = until
+                    return self._now
+                if max_events is not None and executed >= max_events:
+                    return self._now
+                heapq.heappop(self._queue)
+                self._now = when
+                self._events_fired += 1
+                executed += 1
+                fn(*args)
+            if until is not None and until > self._now:
                 self._now = until
-                return self._now
-            if max_events is not None and executed >= max_events:
-                return self._now
-            heapq.heappop(self._queue)
-            self._now = when
-            self._events_fired += 1
-            executed += 1
-            fn(*args)
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+            return self._now
+        finally:
+            _events_fired_total += executed
 
     def run_until(self, future: Future, max_events: Optional[int] = None) -> Any:
         """Run until ``future`` completes and return its value.
 
         Raises :class:`SimulationError` if the event queue drains first.
         """
+        global _events_fired_total
         executed = 0
-        while not future.done:
-            if not self._queue:
-                raise SimulationError("event queue drained before future completed")
-            if max_events is not None and executed >= max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
-            when, _seq, fn, args = heapq.heappop(self._queue)
-            self._now = when
-            self._events_fired += 1
-            executed += 1
-            fn(*args)
-        return future.value
+        try:
+            while not future.done:
+                if not self._queue:
+                    raise SimulationError("event queue drained before future completed")
+                if max_events is not None and executed >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                when, _seq, fn, args = heapq.heappop(self._queue)
+                self._now = when
+                self._events_fired += 1
+                executed += 1
+                fn(*args)
+            return future.value
+        finally:
+            _events_fired_total += executed

@@ -98,9 +98,14 @@ class Histogram:
         return self.percentile(50)
 
     def summary(self) -> Dict[str, float]:
-        """Dictionary of the common summary statistics."""
+        """Dictionary of the common summary statistics.
+
+        The schema is total: an empty histogram returns the same keys
+        (zero-filled) as a populated one, so report/artifact consumers
+        can index ``mean``/``p99``/... unconditionally.
+        """
         if not self._samples:
-            return {"count": 0}
+            return {"count": 0, "mean": 0.0, "min": 0.0, "p50": 0.0, "p99": 0.0, "max": 0.0}
         return {
             "count": self.count,
             "mean": self.mean,

@@ -13,6 +13,8 @@ calling code reads like the paper: ``us(1.3)`` is the RoCE round trip,
 
 from __future__ import annotations
 
+import math
+
 # ---------------------------------------------------------------------------
 # Time: base unit is the picosecond.
 # ---------------------------------------------------------------------------
@@ -148,6 +150,13 @@ def transfer_time(size_bytes: int, bytes_per_ps: float) -> int:
 
     Returns 0 for an empty transfer and at least 1 tick otherwise, so a
     nonempty transfer always advances simulated time.
+
+    Rounding is *ceiling*, not nearest: a transfer may never finish
+    before the wire could physically deliver it, and splitting a
+    transfer into chunks must never total fewer ticks than moving it
+    whole (``ceil(a) + ceil(b) >= ceil(a + b)``; nearest-rounding
+    violates this).  A tiny relative epsilon absorbs float noise so an
+    exact multiple of the rate does not ceil up a spurious tick.
     """
     if bytes_per_ps <= 0:
         raise ValueError(f"non-positive rate: {bytes_per_ps}")
@@ -155,4 +164,5 @@ def transfer_time(size_bytes: int, bytes_per_ps: float) -> int:
         raise ValueError(f"negative size: {size_bytes}")
     if size_bytes == 0:
         return 0
-    return max(1, round(size_bytes / bytes_per_ps))
+    exact = size_bytes / bytes_per_ps
+    return max(1, math.ceil(exact - exact * 1e-12))

@@ -35,9 +35,18 @@ class TestOneway:
         with pytest.raises(SystemExit):
             main(["oneway", "--nic", "carrier-pigeon"])
 
-    def test_non_positive_size_rejected(self):
-        with pytest.raises(SystemExit):
+    def test_non_positive_size_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
             main(["oneway", "--size", "0"])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_negative_size_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["oneway", "--size", "-1"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "positive integer" in err
 
 
 class TestTrace:
@@ -60,6 +69,19 @@ class TestTrace:
         main(["trace", "--count", "50", "--seed", "7", "--out", str(b)])
         assert a.read_text() == b.read_text()
 
+    def test_zero_count_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--count", "0"])
+        assert excinfo.value.code == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_negative_count_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["trace", "--count", "-5"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "positive integer" in err
+
 
 class TestTargets:
     def test_prints_registry(self, capsys):
@@ -74,9 +96,11 @@ class TestExperiments:
         assert main(["experiments", "fig7"]) == 0
         assert "Fig. 7" in capsys.readouterr().out
 
-    def test_unknown_experiment_exits(self):
-        with pytest.raises(SystemExit):
-            main(["experiments", "fig99"])
+    def test_unknown_experiment_exits_cleanly(self, capsys):
+        # Unknown names surface as a clean exit code 2 with a message on
+        # stderr, not a SystemExit raised from library code (bugfix).
+        assert main(["experiments", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
 
     def test_no_command_exits(self):
         with pytest.raises(SystemExit):

@@ -173,7 +173,7 @@ class TestRunner:
         assert "Fig. 7" in text
 
     def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
+        with pytest.raises(ValueError, match="fig99"):
             run_all(["fig99"])
 
 

@@ -1,0 +1,154 @@
+"""Sim-kernel edge cases: grant order, run limits, wake order.
+
+These pin down contracts the experiment harness leans on — the
+deterministic grant/wake ordering is what makes parallel shard runs
+byte-for-byte identical to serial ones.
+"""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.resource import Queue, Resource
+
+
+class TestResourceGrantOrder:
+    def test_priority_beats_fifo(self):
+        """A later low-priority-value waiter is granted before earlier ones."""
+        sim = Simulator()
+        resource = Resource(sim, "r")
+        resource.acquire()  # holder
+        order = []
+        for name, priority in [("a", 5), ("b", 0), ("c", 5)]:
+            resource.acquire(priority).add_callback(
+                lambda _future, name=name: order.append(name)
+            )
+        for _ in range(4):
+            resource.release()
+        assert order == ["b", "a", "c"]
+        assert not resource.busy
+        assert resource.total_acquisitions == 4
+
+    def test_equal_priority_is_fifo(self):
+        sim = Simulator()
+        resource = Resource(sim, "r")
+        resource.acquire()
+        order = []
+        for name in ["first", "second", "third"]:
+            resource.acquire().add_callback(
+                lambda _future, name=name: order.append(name)
+            )
+        for _ in range(4):
+            resource.release()
+        assert order == ["first", "second", "third"]
+
+    def test_total_wait_ticks_accounts_queueing(self):
+        """Second user of a 100-tick hold waits exactly 100 ticks."""
+        sim = Simulator()
+        resource = Resource(sim, "r")
+        sim.spawn(resource.use(100))
+        sim.spawn(resource.use(50))
+        sim.run()
+        assert resource.total_wait_ticks == 100
+        assert resource.total_acquisitions == 2
+        assert not resource.busy
+
+    def test_release_of_idle_resource_raises(self):
+        sim = Simulator()
+        resource = Resource(sim, "r")
+        with pytest.raises(SimulationError, match="idle"):
+            resource.release()
+
+
+class TestRunLimits:
+    def test_until_leaves_future_events_queued(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(500, lambda: fired.append(500))
+        assert sim.run(until=100) == 100
+        assert sim.now == 100
+        assert fired == [10]
+        assert sim.pending_events == 1
+        # Resuming drains the rest and the clock lands on the last event.
+        assert sim.run() == 500
+        assert fired == [10, 500]
+
+    def test_until_advances_clock_past_empty_queue(self):
+        sim = Simulator()
+        assert sim.run(until=50) == 50
+        assert sim.now == 50
+
+    def test_until_in_the_past_does_not_rewind(self):
+        sim = Simulator()
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert sim.run(until=10) == 100
+
+    def test_max_events_bounds_execution(self):
+        sim = Simulator()
+        fired = []
+        for tick in range(1, 6):
+            sim.schedule(tick, fired.append, tick)
+        sim.run(max_events=2)
+        assert fired == [1, 2]
+        assert sim.now == 2  # clock stops at the last executed event
+        assert sim.pending_events == 3
+        sim.run()
+        assert fired == [1, 2, 3, 4, 5]
+
+    def test_events_fired_counts_executions(self):
+        sim = Simulator()
+        for tick in range(3):
+            sim.schedule(tick, lambda: None)
+        sim.run()
+        assert sim.events_fired == 3
+
+    def test_run_until_drained_queue_raises(self):
+        sim = Simulator()
+        never = sim.future()
+        with pytest.raises(SimulationError, match="drained"):
+            sim.run_until(never)
+
+    def test_run_until_max_events_raises(self):
+        sim = Simulator()
+
+        def ticker():
+            while True:
+                yield 1
+
+        sim.spawn(ticker())
+        never = sim.future()
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run_until(never, max_events=10)
+
+
+class TestQueueWakeOrder:
+    def test_getters_wake_oldest_first(self):
+        sim = Simulator()
+        queue = Queue(sim, "q")
+        first, second = queue.get(), queue.get()
+        queue.put("x")
+        queue.put("y")
+        assert first.value == "x"
+        assert second.value == "y"
+
+    def test_buffered_items_serve_fifo(self):
+        sim = Simulator()
+        queue = Queue(sim, "q")
+        queue.put(1)
+        queue.put(2)
+        assert queue.max_depth == 2
+        assert queue.peek() == 1
+        assert queue.get().value == 1
+        assert queue.get().value == 2
+        assert queue.peek() is None
+
+    def test_put_to_waiter_does_not_buffer(self):
+        sim = Simulator()
+        queue = Queue(sim, "q")
+        waiter = queue.get()
+        queue.put("direct")
+        assert waiter.value == "direct"
+        assert len(queue) == 0
+        assert queue.max_depth == 0
+        assert queue.total_puts == 1

@@ -13,7 +13,14 @@ class TestHistogram:
         histogram = Histogram()
         assert histogram.count == 0
         assert histogram.mean == 0.0
-        assert histogram.summary() == {"count": 0}
+        assert histogram.summary() == {
+            "count": 0,
+            "mean": 0.0,
+            "min": 0.0,
+            "p50": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
 
     def test_mean(self):
         histogram = Histogram()
