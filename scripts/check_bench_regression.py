@@ -1,0 +1,67 @@
+"""Gate CI on the kernel microbenchmark trajectory.
+
+Reads ``BENCH_runner.json`` (appended to by ``pytest benchmarks/``),
+compares the newest run's ``events_per_sec`` per test against the
+previous run, and exits 1 if any test fell by more than the threshold
+(default 25%).  A trajectory with fewer than two runs passes — there
+is nothing to regress against yet.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_bench_regression.py \
+        [--path BENCH_runner.json] [--threshold 0.25]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--path",
+        default=str(REPO_ROOT / "BENCH_runner.json"),
+        help="bench-trajectory file (default: repo BENCH_runner.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum tolerated fractional events/sec drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.experiments.harness import check_bench_regression
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"error: cannot read bench trajectory {args.path}: {error}")
+        return 2
+
+    runs = document.get("runs") or []
+    failures = check_bench_regression(document, threshold=args.threshold)
+    if failures:
+        print(f"bench regression vs previous run ({len(runs)} runs on file):")
+        for line in failures:
+            print(f"  {line}")
+        return 1
+    if len(runs) < 2:
+        print(f"{len(runs)} run(s) on file; nothing to compare yet")
+    else:
+        tests = len(runs[-1].get("records") or [])
+        print(
+            f"no bench regression: {tests} test(s) within "
+            f"{args.threshold:.0%} of the previous run"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

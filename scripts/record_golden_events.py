@@ -1,0 +1,76 @@
+"""Regenerate the kernel determinism goldens in ``tests/data/``.
+
+Only run this after an *intentional* event-order change: the goldens
+pin the kernel's ``(time, seq, owner)`` execution order, and rewriting
+them silently would defeat the determinism tests in
+``tests/test_sim_determinism.py``.
+
+Two artifacts are produced:
+
+* ``golden_event_order.json`` — the traced event stream of the mixed
+  kernel workload, recorded through ``Simulator(trace=...)``.
+* ``fig5_baseline.json`` — the fig5 experiment artifact (takes a few
+  seconds; skip with ``--no-fig5`` when only the kernel golden moved).
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_golden_events.py [--no-fig5]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+DATA_DIR = REPO_ROOT / "tests" / "data"
+
+
+def record_golden_event_order() -> pathlib.Path:
+    from tests.test_sim_determinism import record_stream
+
+    events, final_now, fired = record_stream()
+    document = {
+        "schema": "netdimm-repro/golden-event-order",
+        "schema_version": 1,
+        "kernel": "ring + single-hop resume kernel",
+        "final_now": final_now,
+        "events_fired": fired,
+        "events": events,
+    }
+    out = DATA_DIR / "golden_event_order.json"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=None) + "\n")
+    print(f"wrote {len(events)} events, final_now={final_now} -> {out}")
+    return out
+
+
+def record_fig5_baseline() -> pathlib.Path:
+    from repro.experiments import harness
+
+    run = harness.run_experiments(["fig5"], jobs=1)
+    out = DATA_DIR / "fig5_baseline.json"
+    run.write_artifact(str(out))
+    print(f"wrote fig5 artifact -> {out}")
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--no-fig5",
+        action="store_true",
+        help="skip the (slow) fig5 baseline regeneration",
+    )
+    args = parser.parse_args(argv)
+    record_golden_event_order()
+    if not args.no_fig5:
+        record_fig5_baseline()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,11 +3,13 @@
 Commands
 --------
 
-``experiments [names...] [--jobs N] [--json PATH] [--baseline PATH]``
+``experiments [names...] [--jobs N] [--json PATH] [--baseline PATH] [--profile]``
     Run the paper's tables/figures (all by default) and print reports.
     ``--jobs`` fans experiments (and sweep points) over worker
     processes; ``--json`` writes the versioned artifact; ``--baseline``
-    diffs against a previous artifact and exits 1 on regressions.
+    diffs against a previous artifact and exits 1 on regressions;
+    ``--profile`` appends a kernel event profile (events per callback
+    owner, forces ``--jobs 1``).
 ``list``
     List available experiments with one-line descriptions.
 ``oneway --nic KIND --size BYTES``

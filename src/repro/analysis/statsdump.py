@@ -88,6 +88,31 @@ def dump_json(root: Any, only: str = "") -> str:
     return json.dumps(collect_json(root, only=only), indent=2)
 
 
+def format_profile(counts: Dict[str, int], top: int = 0) -> str:
+    """Render a kernel event profile (owner → events fired) as a table.
+
+    ``counts`` is the mapping produced by ``Simulator(profile=True)``
+    (per-simulator ``profile_counts`` or the process-wide
+    :func:`repro.sim.engine.profile_totals`).  Rows are sorted by event
+    count, heaviest first; ``top`` truncates to the N heaviest owners
+    (0 = all).  To fold a profile into a component's stats instead, use
+    :meth:`repro.sim.stats.StatRecorder.count_many`.
+    """
+    total = sum(counts.values())
+    rows = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    dropped = len(rows) - top if top and len(rows) > top else 0
+    if top:
+        rows = rows[:top]
+    lines = [f"{'event owner':<48}{'events':>12}{'share':>9}"]
+    for name, value in rows:
+        share = value / total if total else 0.0
+        lines.append(f"{name:<48}{value:>12}{share:>8.1%}")
+    if dropped:
+        lines.append(f"... {dropped} more owners elided")
+    lines.append(f"{'total':<48}{total:>12}")
+    return "\n".join(lines)
+
+
 def dump(root: Any, only: str = "") -> str:
     """Human-readable stats dump, optionally filtered by substring."""
     flat = collect(root)

@@ -597,3 +597,45 @@ def append_bench_run(
         json.dump(document, handle, indent=2)
         handle.write("\n")
     return document
+
+
+def check_bench_regression(
+    document: Dict[str, Any], threshold: float = 0.25
+) -> List[str]:
+    """Compare the newest bench run against the previous one.
+
+    ``document`` is a bench-trajectory (the :func:`append_bench_run`
+    schema).  Each test present in both of the last two runs must keep
+    ``events_per_sec`` within ``threshold`` (fractional drop) of the
+    previous run; violations come back as human-readable strings, an
+    empty list means no regression.  Fewer than two runs, or tests
+    missing from either side, are not failures — a fresh trajectory
+    has nothing to regress against.
+    """
+    runs = document.get("runs") or []
+    if len(runs) < 2:
+        return []
+
+    def by_test(run: Dict[str, Any]) -> Dict[str, float]:
+        rates: Dict[str, float] = {}
+        for record in run.get("records") or []:
+            rate = record.get("events_per_sec")
+            test = record.get("test")
+            if test and isinstance(rate, (int, float)) and rate > 0:
+                rates[test] = float(rate)
+        return rates
+
+    previous, current = by_test(runs[-2]), by_test(runs[-1])
+    failures: List[str] = []
+    for test, base_rate in sorted(previous.items()):
+        now_rate = current.get(test)
+        if now_rate is None:
+            continue
+        drop = (base_rate - now_rate) / base_rate
+        if drop > threshold:
+            failures.append(
+                f"{test}: events/sec fell {drop:.0%} "
+                f"({base_rate:.0f} -> {now_rate:.0f}, "
+                f"threshold {threshold:.0%})"
+            )
+    return failures

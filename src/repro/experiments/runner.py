@@ -106,6 +106,11 @@ def add_runner_arguments(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="diff this run against a previous artifact and flag regressions",
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="profile kernel events per callback owner (forces --jobs 1)",
+    )
 
 
 def positive_int(text: str) -> int:
@@ -123,8 +128,32 @@ def run_cli(args: argparse.Namespace) -> Tuple[str, int]:
     """Execute a parsed runner invocation; returns (output, exit code)."""
     from repro.experiments import harness
 
-    run = harness.run_experiments(args.names or None, jobs=args.jobs)
+    profile = getattr(args, "profile", False)
+    jobs = args.jobs
+    if profile:
+        # The profile accumulates in process-global counters; worker
+        # processes would run their simulators (and drop their buckets)
+        # in separate address spaces, so profiling forces inline runs.
+        from repro.sim import engine
+
+        jobs = 1
+        engine.reset_profile_totals()
+        engine.set_profile_default(True)
+    try:
+        run = harness.run_experiments(args.names or None, jobs=jobs)
+    finally:
+        if profile:
+            engine.set_profile_default(False)
     output = run.report_text()
+    if profile:
+        from repro.analysis.statsdump import format_profile
+        from repro.sim.engine import profile_totals
+
+        output += (
+            f"\n{'=' * 72}\n"
+            "kernel event profile (events per callback owner)\n"
+            f"{format_profile(profile_totals(), top=30)}\n"
+        )
     exit_code = 0
     if args.json_path:
         run.write_artifact(args.json_path)

@@ -25,5 +25,15 @@ class Component:
         """Current simulated time in ticks."""
         return self.sim.now
 
+    def spawn(self, body, name: str = ""):
+        """Spawn a process owned by this component.
+
+        The process is named ``<component>.<name>`` so kernel profiling
+        (``Simulator(profile=True)``) attributes its events to this
+        component instead of an anonymous generator.
+        """
+        label = name or getattr(body, "__name__", "process")
+        return self.sim.spawn(body, name=f"{self.name}.{label}")
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

@@ -3,27 +3,80 @@
 Design notes
 ------------
 
-The simulator keeps a single binary heap of ``(time, seq, action)``
-entries.  ``seq`` is a monotonically increasing counter so that two events
-scheduled for the same tick fire in the order they were scheduled; this is
-what makes whole-system runs byte-for-byte deterministic.
+Logically the simulator executes one totally-ordered stream of
+``(time, seq)`` events: ``seq`` is a monotonically increasing counter so
+that two events scheduled for the same tick fire in the order they were
+scheduled.  That total order is the determinism contract — it is what
+makes whole-system runs byte-for-byte reproducible, and it is pinned by
+the golden event-order test in ``tests/test_sim_determinism.py``.
+
+Physically the kernel keeps *two* queues behind that single logical
+order:
+
+* a binary heap for events with a nonzero delay, and
+* a **same-tick ring** (a deque) for zero-delay events — the bulk of
+  process stepping (``yield None``, ``yield 0``, future resumes,
+  ``spawn``), which would otherwise pay a heap push *and* pop each.
+
+Heap entries are ``(time, seq, fn, args)``; ring entries drop the
+redundant time field and are just ``(seq, fn, args)``, because a ring
+entry is created at the current tick (``schedule`` only routes
+``delay == 0`` there) and the ring is drained before the clock
+advances.  Those two invariants also collapse the head-to-head merge:
+a heap entry can only precede the ring when it is due at the *current*
+tick, and such an entry was necessarily pushed before the clock
+reached this tick, i.e. before any live ring entry was created — so
+its ``seq`` is always smaller.  The merge test is therefore just
+"does the heap hold an entry for the current tick", no tuple
+comparison, and the executed ``(time, seq)`` order stays bit-identical
+to a single heap.
 
 Processes are plain Python generators.  A process may yield:
 
 * an ``int`` — sleep for that many ticks;
 * a :class:`Future` — suspend until the future completes, receiving the
   future's value as the result of the ``yield``;
+* a :class:`Process` — equivalent to yielding its ``done`` future;
 * ``None`` — yield the floor (resume in the same tick, after already
   scheduled same-tick events).
 
 A process's ``return`` value becomes the result of its ``done`` future, so
 processes compose: a parent can ``yield child.done``.
+
+Performance
+-----------
+
+Besides the ring, three kernel fast paths matter for events/sec (see
+``benchmarks/bench_kernel.py`` for the microbenchmarks that meter them):
+
+* ``run``/``run_until`` execute a tight loop with pre-bound locals when
+  no instrumentation is active; ``Process._step`` inlines the dispatch
+  of the common yields (``int`` sleep, ``None`` floor, ``Future`` wait)
+  instead of paying a second call per step.
+* A future resume is a **single queued event**: completing a future
+  calls :meth:`Process._resume`, which appends one ring entry that
+  sends the future's (already extracted) value straight into the
+  generator — no intermediate ``schedule``/``value``-property round
+  trip.
+* :meth:`Simulator.future` recycles :class:`Future` objects through a
+  per-simulator free-list pool; completed, no-longer-referenced futures
+  are returned with :meth:`Simulator.recycle` (see
+  ``repro.sim.resource`` for the recycle points).
+
+Instrumentation is opt-in so the fast path stays clean:
+``Simulator(profile=True)`` (or :func:`set_profile_default`) buckets
+executed events per callback owner into ``Simulator.profile_counts``
+and a process-wide total, and ``Simulator(trace=fn)`` streams
+``(time, seq, owner)`` per executed event.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from collections import deque
+from heapq import heappop, heappush
+from sys import getrefcount
+from typing import Any, Callable, Dict, Generator, Iterable, Optional
 
 ProcessBody = Generator[Any, Any, Any]
 
@@ -35,10 +88,57 @@ lets a harness meter the event throughput of a whole experiment (the
 delta across a call) without threading every simulator instance out.
 """
 
+_profile_default = False
+"""Whether new simulators profile by default (see :func:`set_profile_default`)."""
+
+_profile_totals: Dict[str, int] = {}
+"""Events per callback owner, aggregated across every profiling simulator."""
+
+_FUTURE_POOL_CAP = 1024
+"""Maximum recycled futures kept per simulator (bounds pool memory)."""
+
 
 def process_events_total() -> int:
     """Monotonic count of events executed by all simulators in this process."""
     return _events_fired_total
+
+
+def set_profile_default(enabled: bool) -> None:
+    """Make every *subsequently created* simulator profile (or not).
+
+    This is how a CLI flag reaches simulators buried inside experiment
+    code: flip the default, run, read :func:`profile_totals`.
+    """
+    global _profile_default
+    _profile_default = bool(enabled)
+
+
+def profile_totals() -> Dict[str, int]:
+    """A copy of the process-wide owner → events-fired profile."""
+    return dict(_profile_totals)
+
+
+def reset_profile_totals() -> None:
+    """Clear the process-wide profile (start of a measured region)."""
+    _profile_totals.clear()
+
+
+def owner_label(fn: Callable[..., None]) -> str:
+    """A stable label for an event callback's owner.
+
+    Bound methods are attributed to their instance (``Type:name`` when
+    the instance is named, e.g. ``Process:nic.rx``); plain functions to
+    their qualified name.  Used by both the profiler buckets and the
+    golden event-order trace, so it must depend only on the callback,
+    never on memory addresses or execution history.
+    """
+    owner = getattr(fn, "__self__", None)
+    if owner is None:
+        return getattr(fn, "__qualname__", repr(fn))
+    name = getattr(owner, "name", "")
+    if name:
+        return f"{type(owner).__name__}:{name}"
+    return type(owner).__name__
 
 
 class SimulationError(RuntimeError):
@@ -51,6 +151,10 @@ class Future:
     A future starts pending, and exactly once transitions to done with a
     value (or an exception).  Processes wait on it by yielding it;
     callbacks subscribe with :meth:`add_callback`.
+
+    ``_callbacks`` is ``None`` (no subscriber), a single callable (the
+    overwhelmingly common case: one waiting process), or a list — this
+    avoids allocating a list per future on the hot path.
     """
 
     __slots__ = ("sim", "_done", "_value", "_exception", "_callbacks")
@@ -60,7 +164,7 @@ class Future:
         self._done = False
         self._value: Any = None
         self._exception: Optional[BaseException] = None
-        self._callbacks: list[Callable[["Future"], None]] = []
+        self._callbacks: Any = None
 
     @property
     def done(self) -> bool:
@@ -82,7 +186,14 @@ class Future:
             raise SimulationError("future already completed")
         self._done = True
         self._value = value
-        self._fire()
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            if type(callbacks) is list:
+                for fn in callbacks:
+                    fn(self)
+            else:
+                callbacks(self)
 
     def set_exception(self, exc: BaseException) -> None:
         """Fail the future; waiters see the exception raised at the yield."""
@@ -90,19 +201,27 @@ class Future:
             raise SimulationError("future already completed")
         self._done = True
         self._exception = exc
-        self._fire()
+        callbacks = self._callbacks
+        if callbacks is not None:
+            self._callbacks = None
+            if type(callbacks) is list:
+                for fn in callbacks:
+                    fn(self)
+            else:
+                callbacks(self)
 
     def add_callback(self, fn: Callable[["Future"], None]) -> None:
         """Run ``fn(self)`` when done (immediately if already done)."""
         if self._done:
             fn(self)
+            return
+        callbacks = self._callbacks
+        if callbacks is None:
+            self._callbacks = fn
+        elif type(callbacks) is list:
+            callbacks.append(fn)
         else:
-            self._callbacks.append(fn)
-
-    def _fire(self) -> None:
-        callbacks, self._callbacks = self._callbacks, []
-        for fn in callbacks:
-            fn(self)
+            self._callbacks = [callbacks, fn]
 
 
 class Process:
@@ -113,61 +232,154 @@ class Process:
     :class:`Future`.
     """
 
-    __slots__ = ("sim", "name", "body", "done", "_started")
+    __slots__ = (
+        "sim",
+        "name",
+        "body",
+        "done",
+        "_send",
+        "_step_bound",
+        "_resume_bound",
+        "_waiting",
+    )
 
     def __init__(self, sim: "Simulator", body: ProcessBody, name: str = ""):
         self.sim = sim
         self.name = name or getattr(body, "__name__", "process")
         self.body = body
         self.done = Future(sim)
-        self._started = False
+        # Pre-bound callables: creating a bound method object per event
+        # (every `self._step` placed in a queue entry, every
+        # `self._resume` handed to add_callback) costs an allocation on
+        # the hottest kernel paths; binding once at spawn removes it.
+        self._send = body.send
+        self._step_bound = self._step
+        self._resume_bound = self._resume
+        self._waiting: Optional[Future] = None
 
-    def _step(self, send_value: Any = None, throw: Optional[BaseException] = None) -> None:
+    def _step(self, send_value: Any = None) -> None:
         try:
-            if throw is not None:
-                yielded = self.body.throw(throw)
-            else:
-                yielded = self.body.send(send_value)
+            yielded = self._send(send_value)
         except StopIteration as stop:
             self.done.set_result(stop.value)
             return
         except BaseException as exc:  # model bug: propagate through done
             self.done.set_exception(exc)
             return
-        self._dispatch(yielded)
-
-    def _dispatch(self, yielded: Any) -> None:
-        if yielded is None:
-            self.sim.schedule(0, self._step)
-        elif isinstance(yielded, int):
-            if yielded < 0:
-                self._step(throw=SimulationError(f"negative delay: {yielded}"))
-                return
-            self.sim.schedule(yielded, self._step)
-        elif isinstance(yielded, Future):
-            yielded.add_callback(self._resume_from_future)
-        elif isinstance(yielded, Process):
-            yielded.done.add_callback(self._resume_from_future)
+        # Refcount-checked recycle of the future this step consumed.
+        # Once ``send`` has resumed the generator, the frame's reference
+        # to the yielded future is gone; if the refcount then shows that
+        # only this function can still see the object (``w`` plus
+        # getrefcount's own argument — no user variable, no container,
+        # no pending callback), nobody can ever observe it again and it
+        # can go straight back to the simulator's pool.  This is what
+        # lets queue/timeout futures — whose creators cannot know when
+        # the consumer is done with them — feed the pool at all.
+        # CPython-specific by design; any extra reference (a debugger, a
+        # user alias, an ``all_of`` closure) just skips the recycle.
+        w = self._waiting
+        if w is not None:
+            self._waiting = None
+            if w._done and getrefcount(w) == 2:
+                w._done = False
+                w._value = None
+                w._exception = None
+                pool = self.sim._future_pool
+                if len(pool) < _FUTURE_POOL_CAP:
+                    pool.append(w)
+        # Dispatch is inlined for the common yields (exact int, None,
+        # exact Future); anything else takes _dispatch_slow.  The inline
+        # paths replicate Simulator.schedule(delay, self._step) without
+        # the call: bump seq, append to the ring (zero delay) or push on
+        # the heap (positive delay).
+        sim = self.sim
+        cls = type(yielded)
+        if cls is int:
+            if yielded > 0:
+                seq = sim._seq + 1
+                sim._seq = seq
+                heappush(sim._queue, (sim._now + yielded, seq, self._step_bound, ()))
+            elif yielded == 0:
+                seq = sim._seq + 1
+                sim._seq = seq
+                sim._ring_append((seq, self._step_bound, ()))
+            else:
+                self._throw(SimulationError(f"negative delay: {yielded}"))
+        elif yielded is None:
+            seq = sim._seq + 1
+            sim._seq = seq
+            sim._ring_append((seq, self._step_bound, ()))
+        elif cls is Future:
+            # Inlined Future.add_callback(self._resume_bound): waiting on
+            # a future is the second-hottest yield, and the extra call
+            # frame is measurable at ping-pong rates.
+            self._waiting = yielded
+            if yielded._done:
+                self._resume(yielded)
+            else:
+                callbacks = yielded._callbacks
+                if callbacks is None:
+                    yielded._callbacks = self._resume_bound
+                elif type(callbacks) is list:
+                    callbacks.append(self._resume_bound)
+                else:
+                    yielded._callbacks = [callbacks, self._resume_bound]
         else:
-            self._step(
-                throw=SimulationError(
+            self._dispatch_slow(yielded)
+
+    def _dispatch_slow(self, yielded: Any) -> None:
+        """The uncommon yields: subclasses, processes, and misuse."""
+        if isinstance(yielded, int):  # bool / int subclasses
+            if yielded < 0:
+                self._throw(SimulationError(f"negative delay: {yielded}"))
+            else:
+                self.sim.schedule(yielded, self._step_bound)
+        elif isinstance(yielded, Future):
+            yielded.add_callback(self._resume_bound)
+        elif isinstance(yielded, Process):
+            yielded.done.add_callback(self._resume_bound)
+        else:
+            self._throw(
+                SimulationError(
                     f"process {self.name!r} yielded unsupported {yielded!r}"
                 )
             )
 
-    def _resume_from_future(self, future: Future) -> None:
+    def _resume(self, future: Future) -> None:
         # Defer the resumption through the event queue: a future's
         # completion must never run waiter code re-entrantly inside the
         # completer (e.g. a Resource.release handing off mid-release).
-        self.sim.schedule(0, self._resume_now, future)
+        # Single hop: the queued event IS the step — the future's value
+        # is extracted here (it is immutable once done) and sent
+        # straight into the generator when the entry fires, with no
+        # intermediate dispatch.
+        sim = self.sim
+        seq = sim._seq + 1
+        sim._seq = seq
+        exc = future._exception
+        if exc is None:
+            sim._ring_append((seq, self._step_bound, (future._value,)))
+        else:
+            sim._ring_append((seq, self._throw, (exc,)))
 
-    def _resume_now(self, future: Future) -> None:
+    def _throw(self, exc: BaseException) -> None:
+        """Resume the generator by raising ``exc`` at its yield point.
+
+        The cold half of :meth:`_step` — splitting it out keeps a
+        ``throw``-argument check off the hot step path.  Dispatch of
+        whatever the generator yields next goes through the generic
+        :meth:`_dispatch_slow` (identical semantics to the inlined
+        dispatch, minus the inlining).
+        """
         try:
-            value = future.value
-        except BaseException as exc:
-            self._step(throw=exc)
+            yielded = self.body.throw(exc)
+        except StopIteration as stop:
+            self.done.set_result(stop.value)
             return
-        self._step(send_value=value)
+        except BaseException as raised:  # model bug: propagate through done
+            self.done.set_exception(raised)
+            return
+        self._dispatch_slow(yielded)
 
 
 class Simulator:
@@ -176,13 +388,43 @@ class Simulator:
     The clock is an integer tick counter (picoseconds by convention, see
     :mod:`repro.units`).  Use :meth:`schedule` for callback events,
     :meth:`spawn` for processes, and :meth:`run` to execute.
+
+    ``profile=True`` buckets executed events per callback owner into
+    :attr:`profile_counts` (and the process-wide :func:`profile_totals`);
+    ``trace`` is an optional ``fn(time, seq, owner)`` called for every
+    executed event.  Both force the instrumented run loop, so leave them
+    off for production runs.
     """
 
-    def __init__(self):
+    __slots__ = (
+        "_now",
+        "_seq",
+        "_queue",
+        "_ring",
+        "_ring_append",
+        "_events_fired",
+        "_future_pool",
+        "profile",
+        "profile_counts",
+        "_trace",
+        "__dict__",
+    )
+
+    def __init__(
+        self,
+        profile: bool = False,
+        trace: Optional[Callable[[int, int, str], None]] = None,
+    ):
         self._now = 0
         self._seq = 0
         self._queue: list[tuple[int, int, Callable[..., None], tuple]] = []
+        self._ring: deque[tuple[int, Callable[..., None], tuple]] = deque()
+        self._ring_append = self._ring.append
         self._events_fired = 0
+        self._future_pool: list[Future] = []
+        self.profile = bool(profile) or _profile_default
+        self.profile_counts: Dict[str, int] = {}
+        self._trace = trace
 
     @property
     def now(self) -> int:
@@ -196,36 +438,69 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still in the queue."""
-        return len(self._queue)
+        """Number of events still queued (heap + same-tick ring)."""
+        return len(self._queue) + len(self._ring)
 
     # -- scheduling ---------------------------------------------------------
 
     def schedule(self, delay: int, fn: Callable[..., None], *args: Any) -> None:
         """Run ``fn(*args)`` after ``delay`` ticks."""
-        if delay < 0:
+        if delay == 0:
+            seq = self._seq + 1
+            self._seq = seq
+            self._ring_append((seq, fn, args))
+        elif delay > 0:
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._queue, (self._now + delay, seq, fn, args))
+        else:
             raise SimulationError(f"cannot schedule into the past: delay={delay}")
-        self._seq += 1
-        heapq.heappush(self._queue, (self._now + delay, self._seq, fn, args))
 
     def schedule_at(self, when: int, fn: Callable[..., None], *args: Any) -> None:
-        """Run ``fn(*args)`` at absolute tick ``when``."""
+        """Run ``fn(*args)`` at absolute tick ``when`` (must not be past)."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at past tick {when}: clock is already at {self._now}"
+            )
         self.schedule(when - self._now, fn, *args)
 
     def future(self) -> Future:
-        """Create a pending future bound to this simulator."""
+        """Create a pending future bound to this simulator (pool-backed)."""
+        pool = self._future_pool
+        if pool:
+            return pool.pop()
         return Future(self)
+
+    def recycle(self, future: Future) -> None:
+        """Return a completed, no-longer-referenced future to the pool.
+
+        Only the creator of a future can know nobody else holds it, so
+        recycling is explicit and opt-in (the contention primitives in
+        :mod:`repro.sim.resource` recycle their internal futures).
+        Recycling a pending future — which includes recycling the same
+        future twice — is an error.
+        """
+        if future.sim is not self:
+            raise SimulationError("cannot recycle a future from another simulator")
+        if not future._done:
+            raise SimulationError("cannot recycle a pending future")
+        future._done = False
+        future._value = None
+        future._exception = None
+        pool = self._future_pool
+        if len(pool) < _FUTURE_POOL_CAP:
+            pool.append(future)
 
     def completed(self, value: Any = None) -> Future:
         """Create an already-completed future (handy for fast paths)."""
-        future = Future(self)
+        future = self.future()
         future.set_result(value)
         return future
 
     def spawn(self, body: ProcessBody, name: str = "") -> Process:
         """Start a process; its first step runs at the current tick."""
         process = Process(self, body, name)
-        self.schedule(0, process._step)
+        self.schedule(0, process._step_bound)
         return process
 
     def spawn_at(self, when: int, body: ProcessBody, name: str = "") -> Process:
@@ -236,7 +511,7 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> Future:
         """A future that completes ``delay`` ticks from now."""
-        future = Future(self)
+        future = self.future()
         self.schedule(delay, future.set_result, value)
         return future
 
@@ -247,7 +522,7 @@ class Simulator:
         order.  An empty input completes immediately with ``[]``.
         """
         futures = list(futures)
-        combined = Future(self)
+        combined = self.future()
         remaining = len(futures)
         if remaining == 0:
             combined.set_result([])
@@ -269,31 +544,98 @@ class Simulator:
         """Execute events until the queue drains or limits are hit.
 
         ``until`` is an absolute tick: events scheduled strictly after it
-        stay queued and the clock is left at ``until``.  ``max_events``
-        bounds the number of events executed in this call (a guard against
+        stay queued and the clock is left at ``until``.  An ``until``
+        already in the past is clamped — the call is a no-op returning
+        ``now``; the clock never rewinds.  ``max_events`` bounds the
+        number of events executed in this call (a guard against
         accidental infinite event loops in tests).
 
         Returns the simulated time at exit.
         """
         global _events_fired_total
-        executed = 0
+        if until is not None and until < self._now:
+            return self._now
+        if self.profile or self._trace is not None:
+            return self._run_instrumented(until, max_events)
+        queue = self._queue
+        ring = self._ring
+        pop = heappop
+        popleft = ring.popleft
+        # Executed-event count is recovered in ``finally`` from the seq
+        # and pending-entry deltas (every seq allocation accompanies
+        # exactly one queue/ring push), keeping an increment out of the
+        # per-event loop.
+        seq_before = self._seq
+        pending_before = len(queue) + len(ring)
         try:
-            while self._queue:
-                when, _seq, fn, args = self._queue[0]
-                if until is not None and when > until:
-                    self._now = until
-                    return self._now
-                if max_events is not None and executed >= max_events:
-                    return self._now
-                heapq.heappop(self._queue)
-                self._now = when
-                self._events_fired += 1
-                executed += 1
-                fn(*args)
+            if max_events is None:
+                # The common fast loop: no event budget to track.  A
+                # heap entry precedes the ring only when it is due at
+                # the current tick (its seq is then necessarily
+                # smaller — see the module docstring); ring pops never
+                # touch the clock, and ring events are always <= until.
+                while True:
+                    if ring:
+                        if queue and queue[0][0] <= self._now:
+                            _when, _s, fn, args = pop(queue)
+                        else:
+                            _s, fn, args = popleft()
+                    elif queue:
+                        if until is None:
+                            when, _s, fn, args = pop(queue)
+                            self._now = when
+                        else:
+                            head = queue[0]
+                            when = head[0]
+                            if when > until:
+                                self._now = until
+                                return until
+                            pop(queue)
+                            self._now = when
+                            fn = head[2]
+                            args = head[3]
+                    else:
+                        break
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
+            else:
+                budget = max_events
+                while True:
+                    if ring:
+                        if budget == 0:
+                            return self._now
+                        budget -= 1
+                        if queue and queue[0][0] <= self._now:
+                            _when, _s, fn, args = pop(queue)
+                        else:
+                            _s, fn, args = popleft()
+                    elif queue:
+                        head = queue[0]
+                        when = head[0]
+                        if until is not None and when > until:
+                            self._now = until
+                            return until
+                        if budget == 0:
+                            return self._now
+                        budget -= 1
+                        pop(queue)
+                        self._now = when
+                        fn = head[2]
+                        args = head[3]
+                    else:
+                        break
+                    if args:
+                        fn(*args)
+                    else:
+                        fn()
             if until is not None and until > self._now:
                 self._now = until
             return self._now
         finally:
+            executed = (self._seq - seq_before) + pending_before - len(queue) - len(ring)
+            self._events_fired += executed
             _events_fired_total += executed
 
     def run_until(self, future: Future, max_events: Optional[int] = None) -> Any:
@@ -302,18 +644,120 @@ class Simulator:
         Raises :class:`SimulationError` if the event queue drains first.
         """
         global _events_fired_total
+        if self.profile or self._trace is not None:
+            return self._run_until_instrumented(future, max_events)
+        queue = self._queue
+        ring = self._ring
+        pop = heappop
+        popleft = ring.popleft
+        budget = -1 if max_events is None else max_events
+        seq_before = self._seq
+        pending_before = len(queue) + len(ring)
+        try:
+            while not future._done:
+                if ring:
+                    if budget == 0:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    budget -= 1
+                    if queue and queue[0][0] <= self._now:
+                        _when, _s, fn, args = pop(queue)
+                    else:
+                        _s, fn, args = popleft()
+                elif queue:
+                    if budget == 0:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    budget -= 1
+                    when, _s, fn, args = pop(queue)
+                    self._now = when
+                else:
+                    raise SimulationError("event queue drained before future completed")
+                if args:
+                    fn(*args)
+                else:
+                    fn()
+            return future.value
+        finally:
+            executed = (self._seq - seq_before) + pending_before - len(queue) - len(ring)
+            self._events_fired += executed
+            _events_fired_total += executed
+
+    # -- instrumented execution (profile / trace) ---------------------------
+
+    def _instrument(self, when: int, seq: int, fn: Callable[..., None]) -> None:
+        """Profile/trace one about-to-execute event."""
+        if self.profile:
+            label = owner_label(fn)
+            counts = self.profile_counts
+            counts[label] = counts.get(label, 0) + 1
+            _profile_totals[label] = _profile_totals.get(label, 0) + 1
+        trace = self._trace
+        if trace is not None:
+            trace(when, seq, owner_label(fn))
+
+    def _run_instrumented(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """The :meth:`run` loop with per-event instrumentation.
+
+        Semantically identical to the fast path — same ``(time, seq)``
+        merge of ring and heap, same ``until``/``max_events`` handling —
+        just with the profile/trace hook before each callback.
+        """
+        global _events_fired_total
+        queue = self._queue
+        ring = self._ring
         executed = 0
         try:
-            while not future.done:
-                if not self._queue:
+            while queue or ring:
+                if ring and (not queue or queue[0][0] > self._now):
+                    from_ring = True
+                    head = ring[0]
+                    when = self._now
+                    seq, fn, args = head
+                else:
+                    from_ring = False
+                    head = queue[0]
+                    when, seq, fn, args = head
+                if until is not None and when > until:
+                    self._now = until
+                    return until
+                if max_events is not None and executed >= max_events:
+                    return self._now
+                if from_ring:
+                    ring.popleft()
+                else:
+                    heapq.heappop(queue)
+                self._now = when
+                executed += 1
+                self._instrument(when, seq, fn)
+                fn(*args)
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._events_fired += executed
+            _events_fired_total += executed
+
+    def _run_until_instrumented(self, future: Future, max_events: Optional[int]) -> Any:
+        """The :meth:`run_until` loop with per-event instrumentation."""
+        global _events_fired_total
+        queue = self._queue
+        ring = self._ring
+        executed = 0
+        try:
+            while not future._done:
+                if not ring and not queue:
                     raise SimulationError("event queue drained before future completed")
                 if max_events is not None and executed >= max_events:
                     raise SimulationError(f"exceeded max_events={max_events}")
-                when, _seq, fn, args = heapq.heappop(self._queue)
-                self._now = when
-                self._events_fired += 1
+                if ring and (not queue or queue[0][0] > self._now):
+                    seq, fn, args = ring.popleft()
+                    when = self._now
+                else:
+                    when, seq, fn, args = heapq.heappop(queue)
+                    self._now = when
                 executed += 1
+                self._instrument(when, seq, fn)
                 fn(*args)
             return future.value
         finally:
+            self._events_fired += executed
             _events_fired_total += executed

@@ -8,6 +8,7 @@ and the NetDIMM-internal arbitration between the PHY and the nNIC
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import Any, Deque, Optional
 
@@ -24,6 +25,20 @@ class Resource:
     policy is exactly what the NetDIMM nController needs: nNIC accesses
     are given priority over host PHY accesses (Sec. 4.1).
     """
+
+    # Slot the hot attributes for faster access in acquire/release
+    # (the contention benchmark's inner loop); ``__dict__`` stays so
+    # subclasses and ad-hoc annotations keep working.
+    __slots__ = (
+        "sim",
+        "name",
+        "_busy",
+        "_waiters",
+        "_ticket",
+        "total_acquisitions",
+        "total_wait_ticks",
+        "__dict__",
+    )
 
     def __init__(self, sim: Simulator, name: str = "resource"):
         self.sim = sim
@@ -46,23 +61,24 @@ class Resource:
 
     def acquire(self, priority: int = 0) -> Future:
         """Request the resource; the future completes when it is granted."""
-        future = self.sim.future()
+        # Inlined Simulator.future(): acquire churns one future per
+        # grant, so the pool hit (use() recycles) plus the saved call
+        # matter under contention.
+        sim = self.sim
+        pool = sim._future_pool
+        future = pool.pop() if pool else Future(sim)
         if not self._busy and not self._waiters:
             self._busy = True
             self.total_acquisitions += 1
             future.set_result(self.sim.now)
         else:
             self._ticket += 1
-            entry = (priority, self._ticket, future)
-            # Insert keeping (priority, ticket) order; the queue is short in
-            # practice (a handful of agents), so linear insertion is fine
-            # and keeps pop O(1).
-            index = len(self._waiters)
-            for i, waiting in enumerate(self._waiters):
-                if (priority, self._ticket) < (waiting[0], waiting[1]):
-                    index = i
-                    break
-            self._waiters.insert(index, entry)
+            # Binary insertion keeping (priority, ticket) order; tickets
+            # are unique, so the tuple comparison never reaches the
+            # (incomparable) future.  Contended queues get hundreds of
+            # waiters deep (see bench_kernel's contention benchmark), so
+            # this beats a linear scan.
+            insort(self._waiters, (priority, self._ticket, future))
         return future
 
     def release(self) -> None:
@@ -83,7 +99,12 @@ class Resource:
         Returns the tick at which the resource was granted.
         """
         request_time = self.sim.now
-        granted_at = yield self.acquire(priority)
+        future = self.acquire(priority)
+        granted_at = yield future
+        # The grant future never escapes this frame, so it can go back
+        # to the simulator's free-list pool (a recycle point: resources
+        # churn one future per acquisition).
+        self.sim.recycle(future)
         self.total_wait_ticks += granted_at - request_time
         if hold_ticks:
             yield hold_ticks
@@ -142,6 +163,9 @@ class Queue:
     nNIC RX buffer handing packets to the nController).
     """
 
+    # Slotted like Resource: put/get are the message-passing hot path.
+    __slots__ = ("sim", "name", "_items", "_getters", "max_depth", "total_puts", "__dict__")
+
     def __init__(self, sim: Simulator, name: str = "queue"):
         self.sim = sim
         self.name = name
@@ -156,15 +180,35 @@ class Queue:
     def put(self, item: Any) -> None:
         """Enqueue ``item``, waking the oldest waiting getter if any."""
         self.total_puts += 1
-        if self._getters:
-            self._getters.popleft().set_result(item)
+        getters = self._getters
+        if getters:
+            # Inlined Future.set_result: put-with-waiter is the hottest
+            # message-passing path (one completion per delivered item),
+            # and the saved call frame is measurable at ping-pong rates.
+            future = getters.popleft()
+            if future._done:
+                raise SimulationError("future already completed")
+            future._done = True
+            future._value = item
+            callbacks = future._callbacks
+            if callbacks is not None:
+                future._callbacks = None
+                if type(callbacks) is list:
+                    for fn in callbacks:
+                        fn(future)
+                else:
+                    callbacks(future)
         else:
             self._items.append(item)
             self.max_depth = max(self.max_depth, len(self._items))
 
     def get(self) -> Future:
         """Dequeue the next item (future completes when one exists)."""
-        future = self.sim.future()
+        # Inlined Simulator.future() — get() sits on the message-passing
+        # hot path (one future per received item).
+        sim = self.sim
+        pool = sim._future_pool
+        future = pool.pop() if pool else Future(sim)
         if self._items:
             future.set_result(self._items.popleft())
         else:

@@ -165,6 +165,16 @@ class StatRecorder:
         """Increment counter ``name`` by ``amount``."""
         self.counters[name] = self.counters.get(name, 0) + amount
 
+    def count_many(self, counts: Dict[str, int]) -> None:
+        """Merge a name → amount mapping into the counters.
+
+        Bulk form of :meth:`count`; used e.g. to fold the kernel
+        profiler's events-per-owner buckets into a recorder.
+        """
+        counters = self.counters
+        for name, amount in counts.items():
+            counters[name] = counters.get(name, 0) + amount
+
     def set_scalar(self, name: str, value: float) -> None:
         """Record/overwrite scalar ``name``."""
         self.scalars[name] = value

@@ -186,6 +186,73 @@ class TestBenchEmitter:
         assert len(document["runs"]) == 1
 
 
+class TestBenchRegressionCheck:
+    @staticmethod
+    def _trajectory(*rates_per_run):
+        return {
+            "runs": [
+                {
+                    "records": [
+                        {"test": test, "events_per_sec": rate}
+                        for test, rate in rates.items()
+                    ]
+                }
+                for rates in rates_per_run
+            ]
+        }
+
+    def test_single_run_has_nothing_to_compare(self):
+        document = self._trajectory({"t1": 1000.0})
+        assert harness.check_bench_regression(document) == []
+
+    def test_within_threshold_passes(self):
+        document = self._trajectory({"t1": 1000.0}, {"t1": 800.0})
+        assert harness.check_bench_regression(document) == []
+
+    def test_drop_past_threshold_fails(self):
+        document = self._trajectory({"t1": 1000.0, "t2": 500.0}, {"t1": 700.0, "t2": 500.0})
+        failures = harness.check_bench_regression(document)
+        assert len(failures) == 1
+        assert failures[0].startswith("t1:")
+        assert "30%" in failures[0]
+
+    def test_only_last_two_runs_are_compared(self):
+        document = self._trajectory({"t1": 9999.0}, {"t1": 1000.0}, {"t1": 900.0})
+        assert harness.check_bench_regression(document) == []
+
+    def test_new_or_vanished_tests_are_not_failures(self):
+        document = self._trajectory({"old": 1000.0}, {"new": 10.0})
+        assert harness.check_bench_regression(document) == []
+
+    def test_threshold_is_configurable(self):
+        document = self._trajectory({"t1": 1000.0}, {"t1": 940.0})
+        assert harness.check_bench_regression(document, threshold=0.05) != []
+
+    def test_cli_script_exit_codes(self, tmp_path):
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+        path = tmp_path / "BENCH_runner.json"
+        path.write_text(json.dumps(self._trajectory({"t1": 1000.0}, {"t1": 990.0})))
+        ok = subprocess.run(
+            [_sys.executable, str(script), "--path", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert ok.returncode == 0, ok.stdout + ok.stderr
+        assert "no bench regression" in ok.stdout
+        path.write_text(json.dumps(self._trajectory({"t1": 1000.0}, {"t1": 100.0})))
+        bad = subprocess.run(
+            [_sys.executable, str(script), "--path", str(path)],
+            capture_output=True,
+            text=True,
+        )
+        assert bad.returncode == 1
+        assert "t1:" in bad.stdout
+
+
 class TestCLI:
     def test_jobs_json_baseline_flow(self, tmp_path, capsys):
         artifact_path = tmp_path / "run.json"
