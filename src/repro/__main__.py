@@ -16,6 +16,11 @@ Commands
     Measure a single one-way packet transfer and print its breakdown.
 ``trace --cluster KIND --count N [--out FILE]``
     Generate a synthetic Facebook-cluster trace (CSV to stdout or FILE).
+``run-scenario SPEC.json [SPEC.json ...] [--jobs N] [--json PATH]``
+    Build and run declarative scenarios (see ``examples/*.json``): the
+    whole cluster in one simulator, packets live-traversing the fabric,
+    per-flow latency percentiles printed and optionally written as a
+    versioned artifact.
 ``targets``
     Print the paper-target registry with bands.
 """
@@ -27,13 +32,15 @@ import sys
 from typing import List, Optional
 
 from repro.analysis.targets import PAPER_TARGETS
-from repro.experiments.oneway import NIC_KINDS, measure_one_way
+from repro.driver.registry import NIC_KINDS
+from repro.experiments.oneway import measure_one_way
 from repro.experiments.runner import (
     EXPERIMENTS,
     add_runner_arguments,
     positive_int,
     run_cli,
 )
+from repro.scenario import runner as scenario_runner
 from repro.workloads.trace_io import save_trace
 from repro.workloads.traces import ClusterKind, TraceGenerator
 
@@ -80,6 +87,26 @@ def _build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--count", type=positive_int, default=1000)
     trace.add_argument("--seed", type=int, default=2019)
     trace.add_argument("--out", default="-", help="output file ('-' = stdout)")
+
+    scenario = commands.add_parser(
+        "run-scenario", help="run declarative scenario spec files"
+    )
+    scenario.add_argument(
+        "specs", nargs="+", metavar="SPEC", help="scenario spec JSON files"
+    )
+    scenario.add_argument(
+        "--jobs",
+        type=positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes (1 = run inline)",
+    )
+    scenario.add_argument(
+        "--json",
+        dest="json_path",
+        metavar="PATH",
+        help="write the versioned scenario artifact to PATH",
+    )
 
     commands.add_parser("targets", help="print the paper-target registry")
     return parser
@@ -136,6 +163,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_oneway(args.nic, args.size)
     elif args.command == "trace":
         output = _cmd_trace(args.cluster, args.count, args.seed, args.out)
+    elif args.command == "run-scenario":
+        try:
+            output, exit_code = scenario_runner.run_cli(
+                args.specs, jobs=args.jobs, json_path=args.json_path or ""
+            )
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     else:  # targets
         output = _cmd_targets()
     try:

@@ -23,14 +23,18 @@ from repro.driver.inic_node import IntegratedNICNode
 from repro.driver.netdimm_node import NetDIMMNode
 from repro.driver.node import ServerNode
 from repro.driver.polling import PollingAgent
+from repro.driver.registry import NIC_KINDS, NIC_REGISTRY, make_node
 from repro.driver.skb import SKB, Socket
 
 __all__ = [
     "DiscreteNICNode",
     "IntegratedNICNode",
+    "NIC_KINDS",
+    "NIC_REGISTRY",
     "NetDIMMNode",
     "PollingAgent",
     "ServerNode",
     "SKB",
     "Socket",
+    "make_node",
 ]

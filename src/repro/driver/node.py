@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro.driver.polling import detection_cost
 from repro.net.packet import Packet
 from repro.params import SystemParams
 from repro.sim import Component, Future, Simulator
@@ -88,16 +89,13 @@ class ServerNode(Component):
         node's probe cost.  Interrupt mode: half the moderation window
         plus delivery/handler/context-switch overhead (Sec. 2.1's
         several-microsecond penalty).
-        """
-        from repro.driver.polling import detection_cost
 
+        The mode string is validated once in ``SoftwareParams`` — this
+        runs per received packet and only dispatches.
+        """
         software = self.params.software
         if software.rx_notification == "interrupt":
             return software.interrupt_moderation // 2 + software.interrupt_overhead
-        if software.rx_notification != "polling":
-            raise ValueError(
-                f"unknown rx_notification: {software.rx_notification!r}"
-            )
         return detection_cost(probe_cost, software.poll_iteration)
 
     def copy_cost(self, size_bytes: int) -> int:

@@ -9,11 +9,20 @@ Paper numbers targeted (shape): average improvements over the PCIe NIC
 of 40.6 / 36.0 / 33.1 / 25.3% at 25 / 50 / 100 / 200 ns switch latency,
 8.1–15.3% over iNIC, with webserver benefiting most and hadoop least.
 
-Per-packet latency is assembled as host-side latency (measured with the
-event-driven node models, bucketed by packet size) plus the fabric path
-latency for the packet's locality class — the same decomposition the
-paper's dist-gem5 setup uses, with end hosts simulated in detail and
-switches as fixed-latency hops.
+Two replay modes share the result type:
+
+* ``mode="analytical"`` (default, the artifact/paper-target path) —
+  per-packet latency is assembled as host-side latency (measured with
+  the event-driven node models, bucketed by packet size) plus the
+  fabric path latency for the packet's locality class — the same
+  decomposition the paper's dist-gem5 setup uses, with end hosts
+  simulated in detail and switches as fixed-latency hops.
+* ``mode="fabric"`` — the trace is replayed *live* through the scenario
+  layer: one host pair per locality class is instantiated on the clos
+  topology and every packet traverses sender TX → queued switch hops →
+  receiver RX inside one simulator.  At zero load the two modes agree
+  (pinned by the parity test); under load the fabric mode additionally
+  shows the queueing the analytical mode assumes away.
 """
 
 from __future__ import annotations
@@ -24,12 +33,36 @@ from typing import Dict, List, Optional, Tuple
 from repro.experiments.oneway import measure_one_way
 from repro.net.topology import ClosTopology, Locality
 from repro.params import DEFAULT, SystemParams
+from repro.scenario.builder import build_scenario
+from repro.scenario.spec import FabricSpec, NodeSpec, ScenarioSpec, TrafficSpec
 from repro.units import CACHELINE, ns
 from repro.workloads.traces import ClusterKind, TraceGenerator
 
 SWITCH_LATENCIES_NS = (25, 50, 100, 200)
 CONFIGS = ("dnic", "inic", "netdimm")
 PACKETS_PER_CLUSTER = 3000
+
+LOCALITY_NODE_HOSTS: Dict[str, Tuple[Tuple[str, str], Tuple[str, str]]] = {
+    # locality -> ((src node, src host), (dst node, dst host)); one
+    # dedicated host pair per locality class, all hosts distinct, on
+    # the default clos shape (2 DCs x 2 clusters x 4 racks x 4 hosts).
+    Locality.INTRA_RACK.value: (
+        ("rack_tx", "dc0/c0/r0/h0"),
+        ("rack_rx", "dc0/c0/r0/h1"),
+    ),
+    Locality.INTRA_CLUSTER.value: (
+        ("cluster_tx", "dc0/c0/r1/h0"),
+        ("cluster_rx", "dc0/c0/r2/h0"),
+    ),
+    Locality.INTRA_DATACENTER.value: (
+        ("dc_tx", "dc0/c1/r0/h0"),
+        ("dc_rx", "dc0/c0/r3/h0"),
+    ),
+    Locality.INTER_DATACENTER.value: (
+        ("wan_tx", "dc1/c0/r0/h0"),
+        ("wan_rx", "dc0/c1/r3/h3"),
+    ),
+}
 
 
 def _size_bucket(size_bytes: int) -> int:
@@ -100,8 +133,20 @@ def run(
     packets_per_cluster: int = PACKETS_PER_CLUSTER,
     switch_latencies_ns: Tuple[int, ...] = SWITCH_LATENCIES_NS,
     seed: int = 2019,
+    mode: str = "analytical",
+    mean_interarrival_ns: float = 1000.0,
 ) -> Fig12aResult:
     """Replay every cluster trace under every configuration and sweep."""
+    if mode == "fabric":
+        return run_fabric(
+            params,
+            packets_per_cluster,
+            switch_latencies_ns,
+            seed,
+            mean_interarrival_ns=mean_interarrival_ns,
+        )
+    if mode != "analytical":
+        raise ValueError(f"unknown fig12a mode: {mode!r}")
     params = params or DEFAULT
     # Host-side latency per (config, size bucket): measured once from
     # the detailed node models; the fabric substitutes for the wire.
@@ -139,6 +184,91 @@ def run(
                     )
                 mean_latency[(cluster, config, switch_ns)] = total / len(trace)
     return Fig12aResult(mean_latency=mean_latency)
+
+
+def run_fabric(
+    params: Optional[SystemParams] = None,
+    packets_per_cluster: int = PACKETS_PER_CLUSTER,
+    switch_latencies_ns: Tuple[int, ...] = SWITCH_LATENCIES_NS,
+    seed: int = 2019,
+    mean_interarrival_ns: float = 1000.0,
+    queue_depth: Optional[int] = 16,
+) -> Fig12aResult:
+    """Replay every cluster trace live over the instantiated fabric.
+
+    Per (cluster, switch latency, config) cell, a scenario places one
+    detailed host pair per locality class on the default clos shape and
+    replays the same seeded trace the analytical mode uses, live.  Use
+    a large ``mean_interarrival_ns`` for a zero-load cross-check of the
+    analytical mode; the 1 us default carries the trace's nominal load.
+    """
+    mean_latency: Dict[Tuple[ClusterKind, str, int], float] = {}
+    for cluster in ClusterKind:
+        for switch_ns in switch_latencies_ns:
+            for config in CONFIGS:
+                spec = fabric_replay_spec(
+                    cluster,
+                    config,
+                    switch_ns,
+                    packets_per_cluster,
+                    seed=seed,
+                    mean_interarrival_ns=mean_interarrival_ns,
+                    queue_depth=queue_depth,
+                )
+                scenario = build_scenario(spec, base_params=params)
+                scenario.run()
+                total = sum(d.latency_ticks for d in scenario.delivered)
+                mean_latency[(cluster, config, switch_ns)] = total / len(
+                    scenario.delivered
+                )
+    return Fig12aResult(mean_latency=mean_latency)
+
+
+def fabric_replay_spec(
+    cluster: ClusterKind,
+    config: str,
+    switch_ns: int,
+    packets: int,
+    seed: int = 2019,
+    mean_interarrival_ns: float = 1000.0,
+    queue_depth: Optional[int] = 16,
+) -> ScenarioSpec:
+    """The scenario spec for one live-replay cell."""
+    nodes = []
+    locality_hosts: Dict[str, Tuple[str, str]] = {}
+    for locality, ((src, src_host), (dst, dst_host)) in sorted(
+        LOCALITY_NODE_HOSTS.items()
+    ):
+        nodes.append(NodeSpec(name=src, nic_kind=config, host=src_host))
+        nodes.append(NodeSpec(name=dst, nic_kind=config, host=dst_host))
+        locality_hosts[locality] = (src, dst)
+    return ScenarioSpec(
+        name=f"fig12a-{cluster.value}-{config}-{switch_ns}ns",
+        seed=seed,
+        warmup_packets=1,
+        nodes=tuple(nodes),
+        fabric=FabricSpec(
+            kind="clos",
+            switch_latency_ns=switch_ns,
+            queue_depth=queue_depth,
+            datacenters=2,
+            clusters=2,
+            racks_per_cluster=4,
+            hosts_per_rack=4,
+            fabric_per_cluster=2,
+            spines=2,
+        ),
+        traffic=(
+            TrafficSpec(
+                kind="trace",
+                cluster=cluster.value,
+                packets=packets,
+                mean_interarrival_ns=mean_interarrival_ns,
+                locality_hosts=locality_hosts,
+                label=cluster.value,
+            ),
+        ),
+    )
 
 
 def _serialization(size_bytes: int, params: SystemParams) -> int:

@@ -5,8 +5,10 @@ Reproduces the paper's primary measurement setup (Sec. 5.2): two nodes
 application → driver → NIC → wire → NIC → driver → receiver
 application, with per-segment accounting.
 
-``measure_one_way`` builds a fresh simulator per measurement so results
-are exactly reproducible and independent.
+``measure_one_way`` is the trivial two-node scenario: it builds a fresh
+simulator per measurement through :mod:`repro.scenario`, so results are
+exactly reproducible and independent, and the same packet-flow engine
+that drives many-node scenarios drives this measurement.
 """
 
 from __future__ import annotations
@@ -15,34 +17,12 @@ import functools
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.driver import DiscreteNICNode, IntegratedNICNode, NetDIMMNode
-from repro.driver.node import ServerNode
-from repro.net import EthernetWire, Packet
+# Re-exported for backwards compatibility: the registry is the single
+# source of truth for NIC kinds (also used by the CLI and scenarios).
+from repro.driver.registry import NIC_KINDS, make_node
 from repro.params import DEFAULT, SystemParams
-from repro.sim import Simulator
-
-NIC_KINDS = ("dnic", "dnic.zcpy", "inic", "inic.zcpy", "netdimm")
-
-
-def make_node(
-    sim: Simulator,
-    name: str,
-    nic_kind: str,
-    params: Optional[SystemParams] = None,
-) -> ServerNode:
-    """Instantiate a server node for one of the five configurations."""
-    params = params or DEFAULT
-    if nic_kind == "dnic":
-        return DiscreteNICNode(sim, name, params, zero_copy=False)
-    if nic_kind == "dnic.zcpy":
-        return DiscreteNICNode(sim, name, params, zero_copy=True)
-    if nic_kind == "inic":
-        return IntegratedNICNode(sim, name, params, zero_copy=False)
-    if nic_kind == "inic.zcpy":
-        return IntegratedNICNode(sim, name, params, zero_copy=True)
-    if nic_kind == "netdimm":
-        return NetDIMMNode(sim, name, params)
-    raise ValueError(f"unknown NIC kind: {nic_kind!r} (expected one of {NIC_KINDS})")
+from repro.scenario.builder import build_scenario
+from repro.scenario.spec import ScenarioSpec
 
 
 @dataclass(frozen=True)
@@ -90,28 +70,12 @@ def measure_one_way(
     are established (NetDIMM's COPY_NEEDED fast path engages), rings are
     initialized, and caches hold steady-state contents.
     """
-    params = params or DEFAULT
-    sim = Simulator()
-    sender = make_node(sim, "tx", nic_kind, params)
-    receiver = make_node(sim, "rx", nic_kind, params)
-    wire = EthernetWire(sim, "wire", params.network)
-
-    def flow(packet: Packet):
-        yield sender.transmit(packet)
-        wire_start = sim.now
-        yield wire.transmit(packet.size_bytes)
-        packet.breakdown.add("wire", sim.now - wire_start)
-        yield receiver.receive(packet)
-        return packet
-
-    for _ in range(warm_packets):
-        warm = Packet(size_bytes=size_bytes)
-        process = sim.spawn(flow(warm))
-        sim.run_until(process.done, max_events=2_000_000)
-
-    packet = Packet(size_bytes=size_bytes)
-    process = sim.spawn(flow(packet))
-    sim.run_until(process.done, max_events=2_000_000)
+    scenario = build_scenario(
+        ScenarioSpec.two_node(nic_kind, size_bytes, warm_packets=warm_packets),
+        base_params=params or DEFAULT,
+    )
+    scenario.run()
+    packet = scenario.delivered[-1].packet
     return OneWayResult(
         nic_kind=nic_kind,
         size_bytes=size_bytes,

@@ -4,12 +4,17 @@
   breakdown accounting).
 * :mod:`repro.net.link` — 40GbE wire model: serialization, MAC/PHY
   pipeline, propagation.
-* :mod:`repro.net.switch` — per-hop switch latency model.
+* :mod:`repro.net.switch` — per-hop switch latency model with optional
+  finite-depth output queues (backpressure).
 * :mod:`repro.net.topology` — the Facebook-style multi-tier clos fabric
   (on networkx) with traffic-locality path resolution used by the
   Fig. 12(a) trace replay.
+* :mod:`repro.net.fabric` — event-driven fabric instantiation: packets
+  live-traverse one switch instance per topology node (the scenario
+  layer's transport).
 """
 
+from repro.net.fabric import ClosFabric, DirectFabric
 from repro.net.link import EthernetWire
 from repro.net.packet import Breakdown, Packet, TCP_IP_HEADER_BYTES
 from repro.net.switch import Switch
@@ -17,7 +22,9 @@ from repro.net.topology import ClosTopology, Locality
 
 __all__ = [
     "Breakdown",
+    "ClosFabric",
     "ClosTopology",
+    "DirectFabric",
     "EthernetWire",
     "Locality",
     "Packet",

@@ -1,0 +1,196 @@
+"""Event-driven fabric: packets live-traverse instantiated switches.
+
+The analytical path model (:meth:`repro.net.topology.ClosTopology.path_latency`)
+adds per-hop constants — fine at zero load, blind to queueing.  This
+module instantiates the fabric for real inside one simulator:
+
+* :class:`DirectFabric` — the degenerate two-host fabric: one
+  point-to-point :class:`~repro.net.link.EthernetWire`.  Reproduces the
+  exact event sequence ``measure_one_way`` has always used, so the
+  one-way experiment is the trivial two-node scenario.
+* :class:`ClosFabric` — one :class:`~repro.net.switch.Switch` per
+  switch/router of a :class:`~repro.net.topology.ClosTopology`, each
+  with a finite-depth output queue, connected by links with real
+  serialization and propagation.  Packets traverse hop by hop, so
+  egress contention (incast!) and switch-queue backpressure emerge from
+  the event order instead of being assumed away.
+
+Both expose ``transit(packet, src_host, dst_host)`` as a generator to be
+driven with ``yield from`` inside a flow process; the elapsed transit
+time is charged to the packet's ``wire`` breakdown segment, matching the
+segment taxonomy of Fig. 11.
+
+At zero load a clos transit reduces exactly to the analytical sum:
+sender MAC/PHY + first-link serialization + propagation, then per
+switch hop the switch pipeline + egress serialization + propagation
+(+ the WAN propagation once on the inter-DC edge link), then receiver
+MAC/PHY — i.e. ``endhost wire pieces + path_latency``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.net.link import EthernetWire
+from repro.net.packet import Packet
+from repro.net.switch import Switch
+from repro.net.topology import INTER_DC_WAN_PROPAGATION, ClosTopology
+from repro.params import NetworkParams
+from repro.sim import Component, Resource, Simulator
+from repro.units import transfer_time
+
+
+class DirectFabric(Component):
+    """Two hosts on one point-to-point wire — the degenerate fabric."""
+
+    kind = "direct"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        hosts: Tuple[str, str],
+        params: Optional[NetworkParams] = None,
+    ):
+        super().__init__(sim, name)
+        if len(hosts) != 2 or hosts[0] == hosts[1]:
+            raise ValueError(f"direct fabric needs two distinct hosts, got {hosts!r}")
+        self.params = params or NetworkParams()
+        self.hosts = tuple(hosts)
+        self.wire = EthernetWire(sim, f"{name}.wire", self.params)
+
+    def host_names(self) -> List[str]:
+        """The two attachable host names."""
+        return list(self.hosts)
+
+    def hop_count(self, src: str, dst: str) -> int:
+        """Switch hops between two hosts (always zero here)."""
+        self._check(src, dst)
+        return 0
+
+    def _check(self, src: str, dst: str) -> None:
+        if {src, dst} != set(self.hosts):
+            raise ValueError(
+                f"direct fabric connects {self.hosts!r}, not {src!r}->{dst!r}"
+            )
+
+    def transit(self, packet: Packet, src: str, dst: str):
+        """Carry ``packet`` from ``src`` to ``dst`` (``yield from`` this)."""
+        self._check(src, dst)
+        start = self.now
+        # The wire is full duplex: each direction has its own bus.
+        yield self.wire.transmit(packet.size_bytes, reverse=src == self.hosts[1])
+        packet.breakdown.add("wire", self.now - start)
+
+
+class ClosFabric(Component):
+    """A live clos fabric: one queued switch per topology switch node."""
+
+    kind = "clos"
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        topology: Optional[ClosTopology] = None,
+        queue_depth: Optional[int] = 16,
+    ):
+        super().__init__(sim, name)
+        self.topology = topology or ClosTopology()
+        self.params = self.topology.params
+        self.queue_depth = queue_depth
+        graph = self.topology.graph
+        self.switches: Dict[str, Switch] = {
+            node: Switch(sim, f"{name}.{node}", self.params, queue_depth=queue_depth)
+            for node, data in sorted(graph.nodes(data=True))
+            if data["tier"] != "host"
+        }
+        # Each host's uplink to its ToR serializes that host's departures.
+        self._uplinks: Dict[str, Resource] = {}
+        # (src, dst) -> all equal-cost paths, sorted for determinism.
+        self._route_cache: Dict[Tuple[str, str], List[List[str]]] = {}
+
+    def host_names(self) -> List[str]:
+        """All attachable host names, sorted."""
+        return self.topology.hosts()
+
+    def _uplink(self, host: str) -> Resource:
+        uplink = self._uplinks.get(host)
+        if uplink is None:
+            uplink = Resource(self.sim, name=f"{self.name}.{host}.uplink")
+            self._uplinks[host] = uplink
+        return uplink
+
+    def route(self, src: str, dst: str, flow_id: int = 0) -> List[str]:
+        """The (deterministic) path for one flow: ECMP by flow id.
+
+        All equal-cost shortest paths are enumerated once per host pair
+        and a flow hashes onto one of them, so concurrent flows spread
+        over the fabric tier the way ECMP routing would.
+        """
+        paths = self._route_cache.get((src, dst))
+        if paths is None:
+            paths = sorted(nx.all_shortest_paths(self.topology.graph, src, dst))
+            self._route_cache[(src, dst)] = paths
+        return paths[flow_id % len(paths)]
+
+    def hop_count(self, src: str, dst: str) -> int:
+        """Switch hops on the flow-0 path."""
+        return len(self.route(src, dst)) - 2
+
+    def _serialization(self, size_bytes: int) -> int:
+        framed = max(size_bytes, self.params.min_frame_bytes) + (
+            self.params.ethernet_overhead_bytes
+        )
+        return transfer_time(framed, self.params.link_bytes_per_ps)
+
+    def transit(self, packet: Packet, src: str, dst: str):
+        """Carry ``packet`` hop by hop from ``src`` to ``dst``.
+
+        Drive with ``yield from`` inside a flow process.  The elapsed
+        time — including any egress queueing and backpressure stalls —
+        is charged to the ``wire`` breakdown segment.
+        """
+        start = self.now
+        path = self.route(src, dst, packet.flow_id)
+        tiers = self.topology.graph.nodes
+        # Sender NIC: MAC/PHY, then the host uplink serializes departures.
+        yield self.params.mac_phy_latency
+        yield from self._uplink(src).use(self._serialization(packet.size_bytes))
+        yield self.params.propagation
+        # Each switch: pipeline + contended finite-depth egress + cable.
+        for node, next_hop in zip(path[1:-1], path[2:]):
+            yield from self.switches[node].forward_transit(
+                packet.size_bytes, egress_port=next_hop
+            )
+            if (
+                tiers[node]["tier"] == "edge"
+                and next_hop in self.switches
+                and tiers[next_hop]["tier"] == "edge"
+            ):
+                # The inter-DC edge-to-edge link is metro fiber, not a
+                # rack cable: add the WAN propagation on top.
+                yield INTER_DC_WAN_PROPAGATION
+        # Receiver NIC MAC/PHY.
+        yield self.params.mac_phy_latency
+        elapsed = self.now - start
+        packet.breakdown.add("wire", elapsed)
+        self.stats.count("packets")
+        self.stats.count("bytes", packet.size_bytes)
+        self.stats.sample("transit_ns", elapsed / 1000)
+
+    def stall_count(self) -> int:
+        """Total ingress stalls on full output queues, fabric-wide."""
+        return sum(
+            switch.stats.get_counter("egress_stalls")
+            for switch in self.switches.values()
+        )
+
+    def forwarded_count(self) -> int:
+        """Total per-switch forward operations, fabric-wide."""
+        return sum(
+            switch.stats.get_counter("forwarded")
+            for switch in self.switches.values()
+        )

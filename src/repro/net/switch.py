@@ -5,11 +5,20 @@ latency (Table 1: 100 ns default; Fig. 12(a) sweeps 25–200 ns) plus the
 egress link's serialization.  We model a cut-through switch: forwarding
 starts after the header is in, so per-hop cost is the switch latency
 plus one egress serialization (shared egress ports queue).
+
+A switch may additionally be given a finite-depth output queue
+(``queue_depth``).  A packet then occupies one slot on its egress port
+from ingress until its serialization onto the egress link completes;
+when a port's queue is full, further packets stall at ingress until a
+slot frees (lossless PFC-style backpressure, the behavior EDM-style
+fabric studies depend on).  ``queue_depth=None`` keeps the legacy
+unbounded behavior and its exact event sequence.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import deque
+from typing import Deque, Dict, Optional
 
 from repro.params import NetworkParams
 from repro.sim import Component, Future, Resource, Simulator
@@ -17,12 +26,23 @@ from repro.units import transfer_time
 
 
 class Switch(Component):
-    """A named switch with contended egress ports."""
+    """A named switch with contended (optionally finite-depth) egress ports."""
 
-    def __init__(self, sim: Simulator, name: str, params: Optional[NetworkParams] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        params: Optional[NetworkParams] = None,
+        queue_depth: Optional[int] = None,
+    ):
         super().__init__(sim, name)
         self.params = params or NetworkParams()
+        if queue_depth is not None and queue_depth <= 0:
+            raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        self.queue_depth = queue_depth
         self._egress_ports: Dict[str, Resource] = {}
+        self._occupancy: Dict[str, int] = {}
+        self._slot_waiters: Dict[str, Deque[Future]] = {}
 
     def _egress(self, port: str) -> Resource:
         resource = self._egress_ports.get(port)
@@ -55,15 +75,48 @@ class Switch(Component):
         )
         return done
 
-    def _forward_body(self, size_bytes: int, egress_port: str, done: Future):
+    def forward_transit(self, size_bytes: int, egress_port: str):
+        """Inline (``yield from``) form of :meth:`forward`.
+
+        Same event sequence without spawning a process per hop — the
+        fabric transit path runs one of these per switch per packet.
+        """
         start = self.now
+        if self.queue_depth is not None:
+            yield from self._claim_slot(egress_port)
         yield self.params.switch_latency
         framed = max(size_bytes, self.params.min_frame_bytes) + (
             self.params.ethernet_overhead_bytes
         )
         serialization = transfer_time(framed, self.params.link_bytes_per_ps)
         yield from self._egress(egress_port).use(serialization)
+        if self.queue_depth is not None:
+            self._release_slot(egress_port)
         yield self.params.propagation
         self.stats.count("forwarded")
         self.stats.sample("hop_ns", (self.now - start) / 1000)
+
+    def _forward_body(self, size_bytes: int, egress_port: str, done: Future):
+        yield from self.forward_transit(size_bytes, egress_port)
         done.set_result(None)
+
+    # -- finite output queue --------------------------------------------------
+
+    def _claim_slot(self, port: str):
+        """Take one output-queue slot on ``port``, stalling while full."""
+        occupancy = self._occupancy
+        while occupancy.get(port, 0) >= self.queue_depth:
+            self.stats.count("egress_stalls")
+            waiter = self.sim.future()
+            self._slot_waiters.setdefault(port, deque()).append(waiter)
+            yield waiter
+        held = occupancy.get(port, 0) + 1
+        occupancy[port] = held
+        self.stats.sample("queue_depth", held)
+
+    def _release_slot(self, port: str) -> None:
+        """Free one slot and wake the oldest stalled ingress, if any."""
+        self._occupancy[port] -= 1
+        waiters = self._slot_waiters.get(port)
+        if waiters:
+            waiters.popleft().set_result(None)

@@ -26,6 +26,11 @@ from repro.units import Gbps, GBps, ns, us
 # ---------------------------------------------------------------------------
 
 
+RX_NOTIFICATION_MODES = ("polling", "interrupt")
+"""Valid ``SoftwareParams.rx_notification`` values.  Validated once at
+construction so the per-packet RX path never re-checks the string."""
+
+
 @dataclass(frozen=True)
 class SoftwareParams:
     """Per-operation driver-software costs."""
@@ -111,6 +116,13 @@ class SoftwareParams:
     """Interrupt-moderation (coalescing) window; a packet waits on
     average half of it before the IRQ fires.  Typical NIC defaults sit
     at tens of microseconds; 8 us is a latency-leaning setting."""
+
+    def __post_init__(self):
+        if self.rx_notification not in RX_NOTIFICATION_MODES:
+            raise ValueError(
+                f"unknown rx_notification: {self.rx_notification!r} "
+                f"(expected one of {RX_NOTIFICATION_MODES})"
+            )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,357 @@
+"""Build and run a scenario: one spec → one live cluster → one artifact.
+
+``build_scenario`` instantiates every node (through the NIC registry,
+with per-node parameter overrides) and the fabric into **one**
+:class:`~repro.sim.Simulator`.  ``Scenario.run`` then replays the
+planned traffic: each packet is a flow process that runs sender TX →
+fabric transit (live switch hops) → receiver RX, with end-to-end
+latency recorded into per-flow histograms via the existing stats layer.
+
+The result is a versioned, JSON-safe artifact.  Nothing wall-clock-
+dependent enters it, so the same spec + seed always produces a
+byte-identical document — the determinism contract the scenario tests
+pin.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.driver.registry import make_node
+from repro.net.fabric import ClosFabric, DirectFabric
+from repro.net.packet import Packet
+from repro.net.topology import ClosConfig, ClosTopology
+from repro.params import DEFAULT, SystemParams
+from repro.scenario.spec import ScenarioSpec
+from repro.scenario.traffic import FlowPacket, plan_traffic
+from repro.sim import Histogram, Simulator
+from repro.units import ns
+
+SCENARIO_SCHEMA = "netdimm-repro/scenario-artifact"
+SCENARIO_SCHEMA_VERSION = 1
+
+
+def apply_overrides(
+    params: SystemParams, overrides: Mapping[str, Any]
+) -> SystemParams:
+    """Apply nested ``{section: {field: value}}`` overrides to params.
+
+    A mapping value patches fields inside that parameter section; a
+    plain value replaces a top-level ``SystemParams`` field.  Unknown
+    names raise, so spec typos fail loudly.
+    """
+    for section, value in overrides.items():
+        if not hasattr(params, section):
+            raise ValueError(f"unknown SystemParams field: {section!r}")
+        if isinstance(value, Mapping):
+            current = getattr(params, section)
+            for name in value:
+                if not hasattr(current, name):
+                    raise ValueError(
+                        f"unknown {section} parameter: {name!r}"
+                    )
+            params = replace(params, **{section: replace(current, **value)})
+        else:
+            params = replace(params, **{section: value})
+    return params
+
+
+@dataclass(frozen=True)
+class DeliveredPacket:
+    """One measured packet, fully delivered."""
+
+    plan: FlowPacket
+    latency_ticks: int
+    packet: Packet
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Everything a finished scenario reports (JSON-safe, deterministic)."""
+
+    name: str
+    packets_delivered: int
+    sim_ticks: int
+    events_fired: int
+    flows: Dict[str, Dict[str, float]]
+    """Flow-group label → latency summary in microseconds."""
+
+    pairs: Dict[str, Dict[str, float]]
+    """``group/src->dst`` → latency summary in microseconds."""
+
+    segments_us: Dict[str, float]
+    """Mean per-packet breakdown segment (foreground packets), in us."""
+
+    fabric: Dict[str, int]
+    """Fabric-wide counters: switch forwards, backpressure stalls."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (scenario-artifact schema v1)."""
+        return {
+            "name": self.name,
+            "packets_delivered": self.packets_delivered,
+            "sim_ticks": self.sim_ticks,
+            "events_fired": self.events_fired,
+            "flows": {label: dict(stats) for label, stats in self.flows.items()},
+            "pairs": {label: dict(stats) for label, stats in self.pairs.items()},
+            "segments_us": dict(self.segments_us),
+            "fabric": dict(self.fabric),
+        }
+
+    def metrics(self) -> Dict[str, float]:
+        """Scalar metrics, one namespace per flow group."""
+        metrics: Dict[str, float] = {}
+        for label, stats in sorted(self.flows.items()):
+            for key in ("mean", "p50", "p99"):
+                metrics[f"scenario.{self.name}.{label}.{key}_us"] = stats[key]
+        return metrics
+
+
+def format_report(result: ScenarioResult) -> str:
+    """Human-readable per-flow latency table."""
+    lines = [
+        f"scenario {result.name}: {result.packets_delivered} packets, "
+        f"{result.sim_ticks / 1e6:.1f} us simulated, "
+        f"{result.events_fired} events",
+        f"fabric: {result.fabric.get('switch_forwards', 0)} switch forwards, "
+        f"{result.fabric.get('egress_stalls', 0)} backpressure stalls",
+        f"{'flow':<32}{'count':>7}{'mean':>9}{'p50':>9}{'p99':>9}{'max':>9}  (us)",
+    ]
+    for label, stats in sorted(result.pairs.items()):
+        lines.append(
+            f"{label:<32}{stats['count']:>7.0f}{stats['mean']:>9.2f}"
+            f"{stats['p50']:>9.2f}{stats['p99']:>9.2f}{stats['max']:>9.2f}"
+        )
+    for label, stats in sorted(result.flows.items()):
+        lines.append(
+            f"{('Σ ' + label):<32}{stats['count']:>7.0f}{stats['mean']:>9.2f}"
+            f"{stats['p50']:>9.2f}{stats['p99']:>9.2f}{stats['max']:>9.2f}"
+        )
+    return "\n".join(lines)
+
+
+class Scenario:
+    """A built (but not yet run) cluster: nodes + fabric + traffic plan."""
+
+    def __init__(
+        self, spec: ScenarioSpec, base_params: Optional[SystemParams] = None
+    ):
+        self.spec = spec
+        params = base_params or DEFAULT
+        if spec.fabric.switch_latency_ns is not None:
+            params = params.with_switch_latency(
+                ns(spec.fabric.switch_latency_ns)
+            )
+        self.params = params
+        self.sim = Simulator()
+        self.nodes = {}
+        for node_spec in spec.nodes:
+            node_params = apply_overrides(params, node_spec.overrides)
+            self.nodes[node_spec.name] = make_node(
+                self.sim, node_spec.name, node_spec.nic_kind, node_params
+            )
+        self.fabric, self.placement = self._build_fabric()
+        self.plan = plan_traffic(spec)
+        self.delivered: List[DeliveredPacket] = []
+        self._remaining = 0
+        self._all_done = None
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_fabric(self):
+        spec = self.spec
+        names = [node.name for node in spec.nodes]
+        if spec.fabric.kind == "direct":
+            if len(names) != 2:
+                raise ValueError(
+                    f"direct fabric needs exactly 2 nodes, got {len(names)}"
+                )
+            fabric = DirectFabric(
+                self.sim, "fabric", tuple(names), self.params.network
+            )
+            return fabric, {name: name for name in names}
+        topology = ClosTopology(
+            ClosConfig(
+                racks_per_cluster=spec.fabric.racks_per_cluster,
+                hosts_per_rack=spec.fabric.hosts_per_rack,
+                clusters=spec.fabric.clusters,
+                fabric_per_cluster=spec.fabric.fabric_per_cluster,
+                spines=spec.fabric.spines,
+                datacenters=spec.fabric.datacenters,
+            ),
+            params=self.params.network,
+        )
+        fabric = ClosFabric(
+            self.sim, "fabric", topology, queue_depth=spec.fabric.queue_depth
+        )
+        placement: Dict[str, str] = {}
+        available = [
+            host for host in fabric.host_names()
+            if host not in {n.host for n in spec.nodes if n.host}
+        ]
+        for node_spec in spec.nodes:
+            if node_spec.host is not None:
+                if node_spec.host not in fabric.topology.graph:
+                    raise ValueError(
+                        f"node {node_spec.name!r} binds to unknown host "
+                        f"{node_spec.host!r}"
+                    )
+                placement[node_spec.name] = node_spec.host
+            else:
+                if not available:
+                    raise ValueError(
+                        "more nodes than topology hosts; grow the fabric spec"
+                    )
+                placement[node_spec.name] = available.pop(0)
+        if len(set(placement.values())) != len(placement):
+            raise ValueError(f"two nodes bound to one host: {placement}")
+        return fabric, placement
+
+    # -- execution ------------------------------------------------------------
+
+    def _flow_steps(self, flow: FlowPacket, packet: Packet):
+        yield self.nodes[flow.src].transmit(packet)
+        yield from self.fabric.transit(
+            packet, self.placement[flow.src], self.placement[flow.dst]
+        )
+        yield self.nodes[flow.dst].receive(packet)
+
+    def _warmup(self, max_events: int) -> None:
+        """Send warmup packets per pair, sequentially, uncounted."""
+        if self.spec.warmup_packets == 0:
+            return
+        seen = {}
+        for flow in self.plan:
+            seen.setdefault((flow.src, flow.dst), flow.size_bytes)
+        for (src, dst), size_bytes in seen.items():
+            for _ in range(self.spec.warmup_packets):
+                packet = Packet(size_bytes=size_bytes, src=src, dst=dst)
+                warm = FlowPacket(
+                    arrival=0, src=src, dst=dst, size_bytes=size_bytes,
+                    flow_id=0, group="warmup", role="background",
+                )
+                process = self.sim.spawn(
+                    self._flow_steps(warm, packet), name="warmup"
+                )
+                self.sim.run_until(process.done, max_events=max_events)
+
+    def _measured_flow(self, flow: FlowPacket):
+        packet = Packet(
+            size_bytes=flow.size_bytes,
+            src=flow.src,
+            dst=flow.dst,
+            flow_id=flow.flow_id,
+        )
+        start = self.sim.now
+        yield from self._flow_steps(flow, packet)
+        self.delivered.append(
+            DeliveredPacket(
+                plan=flow, latency_ticks=self.sim.now - start, packet=packet
+            )
+        )
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._all_done.set_result(None)
+
+    def _launch(self, flow: FlowPacket) -> None:
+        self.sim.spawn(self._measured_flow(flow), name=f"flow.{flow.group}")
+
+    def run(self, max_events: Optional[int] = None) -> ScenarioResult:
+        """Warm up, replay the plan, and summarize."""
+        if self.delivered:
+            raise RuntimeError("scenario already ran")
+        if max_events is None:
+            max_events = 5_000_000 + 20_000 * len(self.plan)
+        self._warmup(max_events)
+        start_tick = self.sim.now
+        self._remaining = len(self.plan)
+        self._all_done = self.sim.future()
+        for flow in self.plan:
+            self.sim.schedule_at(start_tick + flow.arrival, self._launch, flow)
+        if self.plan:
+            self.sim.run_until(self._all_done, max_events=max_events)
+        return self._summarize()
+
+    # -- results --------------------------------------------------------------
+
+    def _summarize(self) -> ScenarioResult:
+        flow_hist: Dict[str, Histogram] = {}
+        pair_hist: Dict[str, Histogram] = {}
+        segment_totals: Dict[str, int] = {}
+        foreground = 0
+        for delivery in self.delivered:
+            flow = delivery.plan
+            latency_us = delivery.latency_ticks / 1e6
+            flow_hist.setdefault(flow.group, Histogram(flow.group)).record(
+                latency_us
+            )
+            pair_label = f"{flow.group}/{flow.src}->{flow.dst}"
+            pair_hist.setdefault(pair_label, Histogram(pair_label)).record(
+                latency_us
+            )
+            if flow.role == "foreground":
+                foreground += 1
+                for segment, ticks in delivery.packet.breakdown.segments.items():
+                    segment_totals[segment] = (
+                        segment_totals.get(segment, 0) + ticks
+                    )
+        segments_us = {
+            segment: total / foreground / 1e6
+            for segment, total in sorted(segment_totals.items())
+        } if foreground else {}
+        if isinstance(self.fabric, ClosFabric):
+            fabric_stats = {
+                "switch_forwards": self.fabric.forwarded_count(),
+                "egress_stalls": self.fabric.stall_count(),
+            }
+        else:
+            fabric_stats = {"switch_forwards": 0, "egress_stalls": 0}
+        return ScenarioResult(
+            name=self.spec.name,
+            packets_delivered=len(self.delivered),
+            sim_ticks=self.sim.now,
+            events_fired=self.sim.events_fired,
+            flows={
+                label: histogram.summary()
+                for label, histogram in sorted(flow_hist.items())
+            },
+            pairs={
+                label: histogram.summary()
+                for label, histogram in sorted(pair_hist.items())
+            },
+            segments_us=segments_us,
+            fabric=fabric_stats,
+        )
+
+
+def build_scenario(
+    spec: ScenarioSpec, base_params: Optional[SystemParams] = None
+) -> Scenario:
+    """Instantiate the whole cluster described by ``spec``."""
+    return Scenario(spec, base_params=base_params)
+
+
+def run_scenario(
+    spec: ScenarioSpec, base_params: Optional[SystemParams] = None
+) -> ScenarioResult:
+    """Build and run in one step."""
+    return build_scenario(spec, base_params=base_params).run()
+
+
+def scenario_artifact(entries: List[Tuple[ScenarioSpec, ScenarioResult]]) -> Dict[str, Any]:
+    """The versioned multi-scenario artifact document."""
+    return {
+        "schema": SCENARIO_SCHEMA,
+        "schema_version": SCENARIO_SCHEMA_VERSION,
+        "scenarios": {
+            spec.name: {"spec": spec.to_dict(), "result": result.to_dict()}
+            for spec, result in entries
+        },
+    }
+
+
+def dump_artifact(document: Dict[str, Any]) -> str:
+    """Canonical (byte-stable) JSON rendering of an artifact."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

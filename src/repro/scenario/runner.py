@@ -1,0 +1,78 @@
+"""Run scenario spec files, serially or fanned over worker processes.
+
+Each spec file is an independent simulation, so ``--jobs N`` simply
+maps files onto a process pool.  Per-scenario results are deterministic
+and the artifact is assembled in input order, so the serial and
+parallel artifacts are byte-identical — pinned by the scenario
+determinism tests.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.scenario.builder import (
+    SCENARIO_SCHEMA,
+    SCENARIO_SCHEMA_VERSION,
+    build_scenario,
+    dump_artifact,
+    format_report,
+)
+from repro.scenario.spec import ScenarioSpec
+
+
+def run_spec_file(path: str) -> Tuple[Dict[str, Any], Dict[str, Any], str]:
+    """Worker entry point: one spec file → (spec, result, report) dicts.
+
+    Module-level (picklable) so a process pool can run it; returns only
+    JSON-safe payloads so results cross process boundaries unchanged.
+    """
+    spec = ScenarioSpec.load(path)
+    scenario = build_scenario(spec)
+    result = scenario.run()
+    return spec.to_dict(), result.to_dict(), format_report(result)
+
+
+def run_scenario_files(
+    paths: Sequence[str], jobs: int = 1
+) -> Tuple[Dict[str, Any], List[str]]:
+    """Run every spec file; returns (artifact document, reports).
+
+    ``jobs=1`` runs inline (the debuggable fallback); more jobs fan the
+    files over a process pool.  Output order always follows input order.
+    """
+    if jobs <= 1 or len(paths) <= 1:
+        outcomes = [run_spec_file(path) for path in paths]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
+            outcomes = list(pool.map(run_spec_file, paths))
+    reports = [report for _spec, _result, report in outcomes]
+    document = {
+        "schema": SCENARIO_SCHEMA,
+        "schema_version": SCENARIO_SCHEMA_VERSION,
+        "scenarios": {
+            spec["name"]: {"spec": spec, "result": result}
+            for spec, result, _report in outcomes
+        },
+    }
+    return document, reports
+
+
+def run_cli(
+    paths: Sequence[str], jobs: int = 1, json_path: str = ""
+) -> Tuple[str, int]:
+    """CLI body for ``repro run-scenario``; returns (output, exit code)."""
+    names = set()
+    for path in paths:
+        spec = ScenarioSpec.load(path)
+        if spec.name in names:
+            raise ValueError(f"duplicate scenario name {spec.name!r} in inputs")
+        names.add(spec.name)
+    document, reports = run_scenario_files(paths, jobs=jobs)
+    output = "\n\n".join(reports)
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            handle.write(dump_artifact(document))
+        output += f"\nwrote artifact: {json_path}"
+    return output, 0

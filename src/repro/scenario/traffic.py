@@ -1,0 +1,183 @@
+"""Seeded traffic planning: a spec's generators → a packet schedule.
+
+Planning is pure and deterministic: every :class:`~repro.scenario.spec.TrafficSpec`
+gets its own ``random.Random`` stream derived from the scenario seed and
+its position, so adding a generator never perturbs another's arrivals.
+The output is a flat, arrival-sorted list of :class:`FlowPacket` —
+the builder just replays it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.scenario.spec import ScenarioSpec, TrafficSpec
+from repro.units import ns
+from repro.workloads.traces import ClusterKind, TraceGenerator
+
+
+@dataclass(frozen=True)
+class FlowPacket:
+    """One planned packet send."""
+
+    arrival: int
+    """Ticks after the measured phase starts."""
+
+    src: str
+    dst: str
+    size_bytes: int
+    flow_id: int
+    group: str
+    """Flow-group label (one histogram per group and per src→dst pair)."""
+
+    role: str
+
+
+def plan_traffic(spec: ScenarioSpec) -> List[FlowPacket]:
+    """Expand every traffic spec into a deterministic packet schedule."""
+    plan: List[FlowPacket] = []
+    node_names = [node.name for node in spec.nodes]
+    for index, traffic in enumerate(spec.traffic):
+        rng = random.Random(spec.seed * 100003 + index)
+        label = traffic.label or f"t{index}.{traffic.kind}"
+        if traffic.kind == "oneway":
+            plan.extend(_plan_oneway(traffic, index, label))
+        elif traffic.kind == "incast":
+            plan.extend(_plan_incast(traffic, index, label, node_names, rng))
+        elif traffic.kind == "uniform":
+            plan.extend(_plan_uniform(traffic, index, label, node_names, rng))
+        else:  # trace (spec validated the kind)
+            plan.extend(_plan_trace(traffic, index, label, spec.seed))
+    # Total order: arrival time, then flow id — stable across runs.
+    plan.sort(key=lambda packet: (packet.arrival, packet.flow_id, packet.src))
+    return plan
+
+
+def _flow_base(index: int) -> int:
+    """Non-overlapping flow-id ranges per traffic spec."""
+    return (index + 1) * 1_000_000
+
+
+def _plan_oneway(
+    traffic: TrafficSpec, index: int, label: str
+) -> List[FlowPacket]:
+    if not traffic.src or traffic.dst is None:
+        raise ValueError(f"oneway traffic {label!r} needs src and dst")
+    src = traffic.src[0]
+    interarrival = ns(traffic.mean_interarrival_ns)
+    return [
+        FlowPacket(
+            arrival=k * interarrival,
+            src=src,
+            dst=traffic.dst,
+            size_bytes=traffic.size_bytes,
+            flow_id=_flow_base(index),
+            group=label,
+            role=traffic.role,
+        )
+        for k in range(traffic.packets)
+    ]
+
+
+def _plan_incast(
+    traffic: TrafficSpec,
+    index: int,
+    label: str,
+    node_names: List[str],
+    rng: random.Random,
+) -> List[FlowPacket]:
+    if traffic.dst is None:
+        raise ValueError(f"incast traffic {label!r} needs dst")
+    sources = list(traffic.src) or [
+        name for name in node_names if name != traffic.dst
+    ]
+    if not sources:
+        raise ValueError(f"incast traffic {label!r} has no sources")
+    mean = max(1.0, ns(traffic.mean_interarrival_ns))
+    plan: List[FlowPacket] = []
+    for src_index, src in enumerate(sources):
+        now = 0
+        flow_id = _flow_base(index) + src_index
+        for _ in range(traffic.packets):
+            now += max(1, round(rng.expovariate(1.0 / mean)))
+            plan.append(
+                FlowPacket(
+                    arrival=now,
+                    src=src,
+                    dst=traffic.dst,
+                    size_bytes=traffic.size_bytes,
+                    flow_id=flow_id,
+                    group=label,
+                    role=traffic.role,
+                )
+            )
+    return plan
+
+
+def _plan_uniform(
+    traffic: TrafficSpec,
+    index: int,
+    label: str,
+    node_names: List[str],
+    rng: random.Random,
+) -> List[FlowPacket]:
+    sources = list(traffic.src) or list(node_names)
+    if len(node_names) < 2:
+        raise ValueError("uniform traffic needs at least two nodes")
+    mean = max(1.0, ns(traffic.mean_interarrival_ns))
+    plan: List[FlowPacket] = []
+    now = 0
+    for k in range(traffic.packets):
+        now += max(1, round(rng.expovariate(1.0 / mean)))
+        src = rng.choice(sources)
+        dst = rng.choice([name for name in node_names if name != src])
+        plan.append(
+            FlowPacket(
+                arrival=now,
+                src=src,
+                dst=dst,
+                size_bytes=traffic.size_bytes,
+                flow_id=_flow_base(index) + k,
+                group=label,
+                role=traffic.role,
+            )
+        )
+    return plan
+
+
+def _plan_trace(
+    traffic: TrafficSpec, index: int, label: str, seed: int
+) -> List[FlowPacket]:
+    """Map a synthesized Facebook trace onto locality-designated pairs."""
+    if traffic.cluster is None:
+        raise ValueError(f"trace traffic {label!r} needs a cluster kind")
+    if not traffic.locality_hosts:
+        raise ValueError(f"trace traffic {label!r} needs locality_hosts")
+    generator = TraceGenerator(ClusterKind(traffic.cluster), seed=seed)
+    mean = max(1, round(ns(traffic.mean_interarrival_ns)))
+    trace = generator.generate(traffic.packets, mean_interarrival=mean)
+    pairs: Dict[str, Tuple[str, str]] = dict(traffic.locality_hosts)
+    localities = sorted(pairs)
+    plan: List[FlowPacket] = []
+    for packet in trace:
+        locality = packet.locality.value
+        pair = pairs.get(locality)
+        if pair is None:
+            raise ValueError(
+                f"trace traffic {label!r} has no host pair for {locality!r}"
+            )
+        src, dst = pair
+        plan.append(
+            FlowPacket(
+                arrival=packet.arrival,
+                src=src,
+                dst=dst,
+                size_bytes=packet.size_bytes,
+                flow_id=_flow_base(index) + localities.index(locality),
+                group=label,
+                role=traffic.role,
+            )
+        )
+    return plan

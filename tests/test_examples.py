@@ -46,6 +46,12 @@ class TestExamples:
         assert "webserver" in out
         assert "saved" in out
 
+    def test_scenario_tour(self, capsys):
+        out = run_example("scenario_tour", capsys)
+        assert "scenario incast-mixed" in out
+        assert "mixed incast" in out and "saved" in out
+        assert "replay byte-identical: True" in out
+
     def test_custom_hardware_sweep(self, capsys):
         out = run_example("custom_hardware_sweep", capsys)
         assert "degree 0" in out

@@ -82,12 +82,9 @@ class TestNotificationModes:
             assert netdimm < inic < dnic
 
     def test_unknown_mode_rejected(self):
-        params = dataclasses.replace(
-            DEFAULT,
-            software=dataclasses.replace(DEFAULT.software, rx_notification="psychic"),
-        )
-        with pytest.raises(Exception):
-            measure_one_way("dnic", 64, params)
+        # Validation happens once at params construction, not per packet.
+        with pytest.raises(ValueError, match="rx_notification"):
+            dataclasses.replace(DEFAULT.software, rx_notification="psychic")
 
 
 class TestTransactionCensus:

@@ -1,0 +1,266 @@
+"""Scenario layer: specs round-trip, clusters run, results are pinned.
+
+Covers the determinism contract (same spec + seed → byte-identical
+artifact, serial or parallel), the mixed-NIC incast acceptance
+scenario end-to-end through the CLI, and the zero-load parity between
+fig12a's live-fabric and analytical replay modes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.driver.registry import NIC_KINDS, make_node
+from repro.experiments import fig12a
+from repro.params import DEFAULT
+from repro.scenario import (
+    FabricSpec,
+    NodeSpec,
+    SCENARIO_SCHEMA,
+    ScenarioSpec,
+    TrafficSpec,
+    apply_overrides,
+    build_scenario,
+    plan_traffic,
+    run_scenario,
+)
+from repro.scenario.builder import dump_artifact
+from repro.scenario.runner import run_scenario_files
+from repro.sim import Simulator
+from repro.workloads.traces import ClusterKind
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+SUMMARY_KEYS = {"count", "mean", "min", "p50", "p99", "max"}
+
+
+def mixed_incast_spec(queue_depth=8, packets=15, size_bytes=1024,
+                      mean_interarrival_ns=4000.0):
+    """Half dNIC / half NetDIMM senders converging on one receiver."""
+    nodes = (
+        NodeSpec(name="recv", nic_kind="netdimm"),
+        NodeSpec(name="d0", nic_kind="dnic"),
+        NodeSpec(name="d1", nic_kind="dnic"),
+        NodeSpec(name="n0", nic_kind="netdimm"),
+        NodeSpec(name="n1", nic_kind="netdimm"),
+    )
+    return ScenarioSpec(
+        name="test-incast",
+        seed=11,
+        nodes=nodes,
+        fabric=FabricSpec(kind="clos", hosts_per_rack=5,
+                          queue_depth=queue_depth),
+        traffic=(
+            TrafficSpec(kind="incast", dst="recv", packets=packets,
+                        size_bytes=size_bytes,
+                        mean_interarrival_ns=mean_interarrival_ns,
+                        label="incast"),
+        ),
+    )
+
+
+class TestRegistry:
+    def test_every_kind_builds(self):
+        for kind in NIC_KINDS:
+            node = make_node(Simulator(), "node", kind)
+            assert node is not None
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown NIC kind"):
+            make_node(Simulator(), "node", "quantum")
+
+
+class TestSpec:
+    def test_round_trip_preserves_equality(self):
+        spec = mixed_incast_spec()
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_save_load(self, tmp_path):
+        path = tmp_path / "spec.json"
+        spec = mixed_incast_spec()
+        spec.save(path)
+        assert ScenarioSpec.load(path) == spec
+
+    def test_unknown_field_rejected(self):
+        document = mixed_incast_spec().to_dict()
+        document["turbo"] = True
+        with pytest.raises(ValueError, match="turbo"):
+            ScenarioSpec.from_dict(document)
+
+    def test_unknown_nic_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown NIC kind"):
+            NodeSpec(name="x", nic_kind="quantum")
+
+    def test_traffic_endpoints_must_be_nodes(self):
+        with pytest.raises(ValueError, match="unknown node"):
+            ScenarioSpec(
+                name="bad",
+                nodes=(NodeSpec(name="a"), NodeSpec(name="b")),
+                fabric=FabricSpec(kind="direct"),
+                traffic=(TrafficSpec(kind="oneway", src=("a",), dst="ghost"),),
+            )
+
+
+class TestOverrides:
+    def test_nested_override_applies(self):
+        params = apply_overrides(
+            DEFAULT, {"software": {"rx_notification": "interrupt"}}
+        )
+        assert params.software.rx_notification == "interrupt"
+        assert DEFAULT.software.rx_notification == "polling"
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown SystemParams field"):
+            apply_overrides(DEFAULT, {"warp_drive": {}})
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ValueError, match="unknown software parameter"):
+            apply_overrides(DEFAULT, {"software": {"telepathy": 1}})
+
+    def test_bad_rx_notification_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="rx_notification"):
+            apply_overrides(DEFAULT, {"software": {"rx_notification": "psychic"}})
+
+
+class TestTrafficPlan:
+    def test_plan_is_deterministic(self):
+        spec = mixed_incast_spec()
+        assert plan_traffic(spec) == plan_traffic(spec)
+
+    def test_plan_sorted_by_arrival(self):
+        plan = plan_traffic(mixed_incast_spec())
+        arrivals = [flow.arrival for flow in plan]
+        assert arrivals == sorted(arrivals)
+
+    def test_incast_defaults_sources_to_all_other_nodes(self):
+        plan = plan_traffic(mixed_incast_spec(packets=4))
+        assert {flow.src for flow in plan} == {"d0", "d1", "n0", "n1"}
+        assert {flow.dst for flow in plan} == {"recv"}
+
+
+class TestScenarioRun:
+    def test_mixed_incast_delivers_everything(self):
+        result = run_scenario(mixed_incast_spec())
+        assert result.packets_delivered == 4 * 15
+        for stats in result.pairs.values():
+            assert set(stats) == SUMMARY_KEYS
+        dnic = result.pairs["incast/d0->recv"]["mean"]
+        netdimm = result.pairs["incast/n0->recv"]["mean"]
+        assert netdimm < dnic
+
+    def test_rebuild_is_byte_identical(self):
+        spec = mixed_incast_spec()
+        first = run_scenario(spec).to_dict()
+        second = run_scenario(ScenarioSpec.from_dict(spec.to_dict())).to_dict()
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+    def test_shallow_queue_backpressures(self):
+        calm = run_scenario(
+            mixed_incast_spec(queue_depth=16, size_bytes=1514,
+                              mean_interarrival_ns=500.0)
+        )
+        squeezed = run_scenario(
+            mixed_incast_spec(queue_depth=1, size_bytes=1514,
+                              mean_interarrival_ns=500.0)
+        )
+        assert squeezed.packets_delivered == calm.packets_delivered
+        assert squeezed.fabric["egress_stalls"] > calm.fabric["egress_stalls"]
+        assert squeezed.flows["incast"]["p99"] >= calm.flows["incast"]["p99"]
+
+    def test_direct_fabric_needs_two_nodes(self):
+        spec = ScenarioSpec(
+            name="bad",
+            nodes=(NodeSpec(name="a"), NodeSpec(name="b"), NodeSpec(name="c")),
+            fabric=FabricSpec(kind="direct"),
+            traffic=(TrafficSpec(kind="oneway", src=("a",), dst="b"),),
+        )
+        with pytest.raises(ValueError, match="exactly 2 nodes"):
+            build_scenario(spec)
+
+
+class TestRunnerAndCli:
+    def _write_specs(self, tmp_path):
+        paths = []
+        for index, size in enumerate((256, 1024)):
+            spec = ScenarioSpec(
+                name=f"pair-{size}",
+                seed=5 + index,
+                nodes=(NodeSpec(name="tx", nic_kind="dnic"),
+                       NodeSpec(name="rx", nic_kind="netdimm")),
+                fabric=FabricSpec(kind="direct"),
+                traffic=(TrafficSpec(kind="oneway", src=("tx",), dst="rx",
+                                     packets=8, size_bytes=size),),
+            )
+            path = tmp_path / f"spec{index}.json"
+            spec.save(path)
+            paths.append(str(path))
+        return paths
+
+    def test_serial_and_parallel_artifacts_identical(self, tmp_path):
+        paths = self._write_specs(tmp_path)
+        serial, _ = run_scenario_files(paths, jobs=1)
+        parallel, _ = run_scenario_files(paths, jobs=2)
+        assert dump_artifact(serial) == dump_artifact(parallel)
+
+    def test_cli_mixed_incast_end_to_end(self, tmp_path, capsys):
+        artifact_path = tmp_path / "artifact.json"
+        exit_code = cli_main([
+            "run-scenario", str(EXAMPLES_DIR / "incast_mixed.json"),
+            "--json", str(artifact_path),
+        ])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "scenario incast-mixed" in out
+        document = json.loads(artifact_path.read_text())
+        assert document["schema"] == SCENARIO_SCHEMA
+        assert document["schema_version"] == 1
+        entry = document["scenarios"]["incast-mixed"]
+        assert entry["spec"]["fabric"]["kind"] == "clos"
+        pairs = entry["result"]["pairs"]
+        assert "incast/dnic0->recv" in pairs and "incast/nd0->recv" in pairs
+        for stats in pairs.values():
+            assert set(stats) == SUMMARY_KEYS
+
+    def test_cli_rejects_duplicate_names(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        mixed_incast_spec().save(path)
+        exit_code = cli_main(["run-scenario", str(path), str(path)])
+        assert exit_code == 2
+        assert "duplicate scenario name" in capsys.readouterr().err
+
+    def test_cli_rejects_missing_file(self, tmp_path, capsys):
+        exit_code = cli_main(["run-scenario", str(tmp_path / "ghost.json")])
+        assert exit_code == 2
+
+
+class TestFig12aParity:
+    """At zero load, the live fabric reproduces the analytical model."""
+
+    KWARGS = dict(
+        packets_per_cluster=120,
+        switch_latencies_ns=(25,),
+        seed=2019,
+        mean_interarrival_ns=300_000.0,
+    )
+
+    def test_fabric_matches_analytical_at_zero_load(self):
+        analytical = fig12a.run(
+            packets_per_cluster=self.KWARGS["packets_per_cluster"],
+            switch_latencies_ns=self.KWARGS["switch_latencies_ns"],
+            seed=self.KWARGS["seed"],
+        )
+        fabric = fig12a.run(mode="fabric", **self.KWARGS)
+        for cluster in ClusterKind:
+            for config in fig12a.CONFIGS:
+                key = (cluster, config, 25)
+                expected = analytical.mean_latency[key]
+                actual = fabric.mean_latency[key]
+                assert actual == pytest.approx(expected, rel=0.05), key
+        improvement_gap = abs(
+            fabric.average_improvement("dnic", 25)
+            - analytical.average_improvement("dnic", 25)
+        )
+        assert improvement_gap < 0.02
