@@ -9,13 +9,8 @@ is on the hot path.  The events/sec record this appends to
 the acceptance metric for fabric-performance PRs.
 """
 
-from repro.scenario import (
-    FabricSpec,
-    NodeSpec,
-    ScenarioSpec,
-    TrafficSpec,
-    run_scenario,
-)
+from repro import api
+from repro.scenario import FabricSpec, NodeSpec, ScenarioSpec, TrafficSpec
 
 from benchmarks.conftest import report
 
@@ -53,7 +48,7 @@ def incast16_spec() -> ScenarioSpec:
 
 def test_bench_fabric_incast16():
     """16-node mixed-NIC incast over the live queued fabric."""
-    result = run_scenario(incast16_spec())
+    result = api.simulate(incast16_spec())
     assert result.packets_delivered == SENDERS * PACKETS_PER_SENDER
     summary = result.flows["incast"]
     report(

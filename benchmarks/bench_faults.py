@@ -1,0 +1,64 @@
+"""Recovery-path benchmark: the chaos incast, with and without loss.
+
+Two flavours of the 16-node incast from ``bench_fabric``:
+
+* zero-probability faults — every measured packet still runs the full
+  reliable-delivery machinery (verdict future, per-attempt timer
+  arm/cancel, recovery counters), so this prices the *overhead* of
+  arming recovery when nothing ever goes wrong;
+* 5% per-link drops — retransmission timers actually fire, so this
+  prices recovery doing real work.
+
+Both append events/sec records to ``BENCH_runner.json`` (session
+fixture in ``conftest.py``), extending the perf trajectory to the
+fault-injection hot path.
+"""
+
+from dataclasses import replace
+
+from repro import api
+
+from benchmarks.bench_fabric import PACKETS_PER_SENDER, SENDERS, incast16_spec
+from benchmarks.conftest import report
+
+
+def chaos_incast16_spec(drop: float) -> api.ScenarioSpec:
+    """The bench incast under a seeded fault model."""
+    return replace(
+        incast16_spec(),
+        name=f"bench-chaos16-drop{drop:g}",
+        faults=api.FaultSpec(
+            links=(api.LinkFaultSpec(link="*", drop_probability=drop),),
+            recovery=api.RecoverySpec(timeout_ns=100_000.0),
+        ),
+    )
+
+
+def test_bench_chaos_zero_probability():
+    """Recovery armed on every packet, no fault ever drawn."""
+    result = api.simulate(chaos_incast16_spec(0.0))
+    counters = result.recovery["incast"]
+    assert counters["delivered"] == SENDERS * PACKETS_PER_SENDER
+    assert counters["retransmits"] == 0
+    report(
+        "chaos benchmark: reliable-delivery overhead at zero drop rate",
+        f"{result.packets_delivered} packets, "
+        f"{result.events_fired} events, 0 retransmits",
+    )
+
+
+def test_bench_chaos_five_percent_drops():
+    """Timers fire, frames retransmit, everything still arrives."""
+    result = api.simulate(chaos_incast16_spec(0.05))
+    counters = result.recovery["incast"]
+    assert counters["delivered"] + counters["lost"] == (
+        SENDERS * PACKETS_PER_SENDER
+    )
+    assert counters["retransmits"] > 0
+    report(
+        "chaos benchmark: 16-node incast at 5% per-link drops",
+        f"{counters['delivered']} delivered / {counters['lost']} lost, "
+        f"{counters['retransmits']} retransmits, "
+        f"{result.fabric['link_drops']} link drops, "
+        f"incast p99 {result.flows['incast']['p99']:.2f} us",
+    )

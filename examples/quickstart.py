@@ -8,15 +8,15 @@ across each, and prints the per-segment latency breakdown side by side.
 Run:  python examples/quickstart.py
 """
 
-from repro.experiments.oneway import measure_one_way
+from repro import api
 from repro.net.packet import FIG11_SEGMENTS
 
 SIZE = 256
 
 
 def main() -> None:
-    dnic = measure_one_way("dnic", SIZE)
-    netdimm = measure_one_way("netdimm", SIZE)
+    dnic = api.measure_one_way("dnic", SIZE)
+    netdimm = api.measure_one_way("netdimm", SIZE)
 
     print(f"One-way latency for a {SIZE} B packet over 40GbE\n")
     print(f"{'segment':<14}{'PCIe NIC':>12}{'NetDIMM':>12}")

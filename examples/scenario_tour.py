@@ -13,7 +13,7 @@ Run:  python examples/scenario_tour.py
 import json
 import os
 
-from repro.scenario import ScenarioSpec, build_scenario, format_report
+from repro import api
 
 HERE = os.path.dirname(os.path.abspath(__file__))
 SPECS = ("incast_mixed.json", "twonode_oneway.json", "background_load.json")
@@ -22,11 +22,10 @@ SPECS = ("incast_mixed.json", "twonode_oneway.json", "background_load.json")
 def main() -> None:
     results = {}
     for filename in SPECS:
-        spec = ScenarioSpec.load(os.path.join(HERE, filename))
-        scenario = build_scenario(spec)
-        result = scenario.run()
+        spec = api.load_spec(os.path.join(HERE, filename))
+        result = api.simulate(spec)
         results[spec.name] = result
-        print(format_report(result))
+        print(api.format_report(result))
         print()
 
     # The mixed-NIC incast is the headline: half the senders are PCIe
@@ -43,8 +42,8 @@ def main() -> None:
 
     # Determinism: rebuilding from the round-tripped spec reproduces
     # the result byte-for-byte.
-    spec = ScenarioSpec.load(os.path.join(HERE, "incast_mixed.json"))
-    replay = build_scenario(ScenarioSpec.from_dict(spec.to_dict())).run()
+    spec = api.load_spec(os.path.join(HERE, "incast_mixed.json"))
+    replay = api.simulate(api.load_spec(spec.to_dict()))
     identical = json.dumps(replay.to_dict(), sort_keys=True) == json.dumps(
         incast.to_dict(), sort_keys=True
     )

@@ -7,25 +7,59 @@ the buffer device of a DDR5 DIMM, plus the PCIe-NIC and integrated-NIC
 baselines it is evaluated against, and a harness regenerating every
 table and figure of the paper's evaluation.
 
-Quick start::
+Quick start — everything routes through the :mod:`repro.api` facade::
 
-    from repro.experiments.oneway import measure_one_way
+    from repro import api
 
-    dnic = measure_one_way("dnic", size_bytes=256)
-    netdimm = measure_one_way("netdimm", size_bytes=256)
+    dnic = api.measure_one_way("dnic", size_bytes=256)
+    netdimm = api.measure_one_way("netdimm", size_bytes=256)
     print(f"{1 - netdimm.total_ticks / dnic.total_ticks:.1%} faster")
+
+    result = api.simulate(api.load_spec("examples/incast_mixed.json"))
+    print(api.format_report(result))
 
 Package map — substrates: :mod:`repro.sim` (event kernel),
 :mod:`repro.dram`, :mod:`repro.pcie`, :mod:`repro.cache`,
 :mod:`repro.mem`, :mod:`repro.net`, :mod:`repro.nic`; the paper's
 contribution: :mod:`repro.core`; software stack: :mod:`repro.driver`;
-workloads: :mod:`repro.workloads`; evaluation: :mod:`repro.experiments`
-and :mod:`repro.analysis`; every calibrated constant:
-:mod:`repro.params`.
+fault injection & recovery: :mod:`repro.faults`; workloads:
+:mod:`repro.workloads`; evaluation: :mod:`repro.experiments` and
+:mod:`repro.analysis`; every calibrated constant: :mod:`repro.params`;
+the public facade over all of it: :mod:`repro.api`.
 """
 
 from repro.params import DEFAULT, SystemParams
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["DEFAULT", "SystemParams", "__version__"]
+__all__ = [
+    "DEFAULT",
+    "SystemParams",
+    "__version__",
+    "api",
+    "diff_artifacts",
+    "format_report",
+    "load_spec",
+    "run_experiment",
+    "simulate",
+]
+
+
+def __getattr__(name):
+    # Lazy: `import repro` must stay light (the facade pulls in the
+    # experiment layer), but `repro.api` / `repro.simulate` etc. work.
+    if name == "api":
+        import repro.api as api
+
+        return api
+    if name in (
+        "load_spec",
+        "simulate",
+        "run_experiment",
+        "diff_artifacts",
+        "format_report",
+    ):
+        import repro.api as api
+
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

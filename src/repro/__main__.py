@@ -21,8 +21,17 @@ Commands
     whole cluster in one simulator, packets live-traversing the fabric,
     per-flow latency percentiles printed and optionally written as a
     versioned artifact.
+``run-chaos SPEC.json [...] [--drop P] [--corrupt P] [--kill LINK@NS]
+[--switch-mode MODE] [--timeout-ns T] [--backoff B] [--budget N]``
+    The fault-injecting twin of ``run-scenario``: every spec runs under
+    a seeded :class:`~repro.faults.FaultSpec` (assembled from the flags,
+    or the spec file's own ``faults`` section when no fault flag is
+    given), with driver-level retransmission recovering losses.
 ``targets``
     Print the paper-target registry with bands.
+
+This module deliberately imports only :mod:`repro.api` — the CLI is the
+facade's first consumer.
 """
 
 from __future__ import annotations
@@ -31,18 +40,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis.targets import PAPER_TARGETS
-from repro.driver.registry import NIC_KINDS
-from repro.experiments.oneway import measure_one_way
-from repro.experiments.runner import (
-    EXPERIMENTS,
-    add_runner_arguments,
-    positive_int,
-    run_cli,
-)
-from repro.scenario import runner as scenario_runner
-from repro.workloads.trace_io import save_trace
-from repro.workloads.traces import ClusterKind, TraceGenerator
+from repro import api
 
 EXPERIMENT_BLURBS = {
     "table1": "system configuration (Table 1)",
@@ -59,6 +57,7 @@ EXPERIMENT_BLURBS = {
     "kernel_stack": "kernel-stack dilution (Sec. 5.1)",
     "loaded_latency": "packet latency under host-memory pressure",
     "feasibility": "TDP budget + per-packet energy (Sec. 4.3)",
+    "faults": "tail latency vs. drop rate under retransmission",
 }
 
 
@@ -70,42 +69,100 @@ def _build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     run = commands.add_parser("experiments", help="run experiments")
-    add_runner_arguments(run)
+    api.add_runner_arguments(run)
 
     commands.add_parser("list", help="list available experiments")
 
     oneway = commands.add_parser("oneway", help="measure one packet transfer")
-    oneway.add_argument("--nic", choices=NIC_KINDS, default="netdimm")
-    oneway.add_argument("--size", type=positive_int, default=256, metavar="BYTES")
+    oneway.add_argument("--nic", choices=api.NIC_KINDS, default="netdimm")
+    oneway.add_argument(
+        "--size", type=api.positive_int, default=256, metavar="BYTES"
+    )
 
     trace = commands.add_parser("trace", help="generate a synthetic trace")
     trace.add_argument(
         "--cluster",
-        choices=[cluster.value for cluster in ClusterKind],
+        choices=[cluster.value for cluster in api.ClusterKind],
         default="webserver",
     )
-    trace.add_argument("--count", type=positive_int, default=1000)
+    trace.add_argument("--count", type=api.positive_int, default=1000)
     trace.add_argument("--seed", type=int, default=2019)
     trace.add_argument("--out", default="-", help="output file ('-' = stdout)")
+
+    def add_scenario_arguments(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "specs", nargs="+", metavar="SPEC", help="scenario spec JSON files"
+        )
+        subparser.add_argument(
+            "--jobs",
+            type=api.positive_int,
+            default=1,
+            metavar="N",
+            help="worker processes (1 = run inline)",
+        )
+        subparser.add_argument(
+            "--json",
+            dest="json_path",
+            metavar="PATH",
+            help="write the versioned scenario artifact to PATH",
+        )
 
     scenario = commands.add_parser(
         "run-scenario", help="run declarative scenario spec files"
     )
-    scenario.add_argument(
-        "specs", nargs="+", metavar="SPEC", help="scenario spec JSON files"
+    add_scenario_arguments(scenario)
+
+    chaos = commands.add_parser(
+        "run-chaos", help="run scenario spec files under fault injection"
     )
-    scenario.add_argument(
-        "--jobs",
-        type=positive_int,
-        default=1,
+    add_scenario_arguments(chaos)
+    chaos.add_argument(
+        "--drop",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-link per-attempt drop probability",
+    )
+    chaos.add_argument(
+        "--corrupt",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-link per-attempt bit-error probability",
+    )
+    chaos.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="LINK@NS[..NS]",
+        help="kill a link at a time (repeatable); e.g. 'tx->rx@5000..9000'",
+    )
+    chaos.add_argument(
+        "--switch-mode",
+        choices=api.FAULT_SWITCH_MODES,
+        default="backpressure",
+        help="what a full switch queue does: stall ingress or drop",
+    )
+    chaos.add_argument(
+        "--timeout-ns",
+        type=float,
+        default=50_000.0,
+        metavar="T",
+        help="initial retransmission timeout",
+    )
+    chaos.add_argument(
+        "--backoff",
+        type=float,
+        default=2.0,
+        metavar="B",
+        help="exponential backoff factor between timeouts",
+    )
+    chaos.add_argument(
+        "--budget",
+        type=int,
+        default=5,
         metavar="N",
-        help="worker processes (1 = run inline)",
-    )
-    scenario.add_argument(
-        "--json",
-        dest="json_path",
-        metavar="PATH",
-        help="write the versioned scenario artifact to PATH",
+        help="retransmit budget before a packet is declared lost",
     )
 
     commands.add_parser("targets", help="print the paper-target registry")
@@ -113,14 +170,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> str:
-    width = max(len(name) for name in EXPERIMENTS)
+    width = max(len(name) for name in api.EXPERIMENTS)
     return "\n".join(
-        f"{name:<{width}}  {EXPERIMENT_BLURBS.get(name, '')}" for name in EXPERIMENTS
+        f"{name:<{width}}  {EXPERIMENT_BLURBS.get(name, '')}"
+        for name in api.EXPERIMENTS
     )
 
 
 def _cmd_oneway(nic: str, size: int) -> str:
-    result = measure_one_way(nic, size)
+    result = api.measure_one_way(nic, size)
     lines = [f"{nic} one-way latency for a {size} B packet: {result.total_us:.2f} us"]
     for segment, ticks in result.segments.items():
         lines.append(f"  {segment:<14}{ticks / 1000:>8.0f} ns")
@@ -128,7 +186,7 @@ def _cmd_oneway(nic: str, size: int) -> str:
 
 
 def _cmd_trace(cluster: str, count: int, seed: int, out: str) -> str:
-    generator = TraceGenerator(ClusterKind(cluster), seed=seed)
+    generator = api.TraceGenerator(api.ClusterKind(cluster), seed=seed)
     packets = generator.generate(count)
     if out == "-":
         lines = ["arrival_ps,size_bytes,locality"]
@@ -136,16 +194,45 @@ def _cmd_trace(cluster: str, count: int, seed: int, out: str) -> str:
             f"{p.arrival},{p.size_bytes},{p.locality.value}" for p in packets
         )
         return "\n".join(lines)
-    written = save_trace(packets, out)
+    written = api.save_trace(packets, out)
     return f"wrote {written} packets to {out}"
 
 
 def _cmd_targets() -> str:
     lines = [f"{'target':<40}{'paper':>9}{'band':>18}"]
-    for target in PAPER_TARGETS.values():
+    for target in api.PAPER_TARGETS.values():
         band = f"[{target.low:g}, {target.high:g}]"
         lines.append(f"{target.name:<40}{target.paper_value:>9g}{band:>18}")
     return "\n".join(lines)
+
+
+def _chaos_overlay(args: argparse.Namespace):
+    """The FaultSpec overlay from the chaos flags, or None.
+
+    None means "no fault flag given": each spec file's own ``faults``
+    section applies (or a default FaultSpec when it has none), so
+    ``run-chaos spec.json`` without flags is still a chaos run.
+    """
+    defaults = (
+        args.drop == 0.0
+        and args.corrupt == 0.0
+        and not args.kill
+        and args.switch_mode == "backpressure"
+        and args.timeout_ns == 50_000.0
+        and args.backoff == 2.0
+        and args.budget == 5
+    )
+    if defaults:
+        return None
+    return api.build_fault_overlay(
+        drop=args.drop,
+        corrupt=args.corrupt,
+        switch_mode=args.switch_mode,
+        kills=[api.parse_kill(text) for text in args.kill],
+        timeout_ns=args.timeout_ns,
+        backoff=args.backoff,
+        budget=args.budget,
+    )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -153,7 +240,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     exit_code = 0
     if args.command == "experiments":
         try:
-            output, exit_code = run_cli(args)
+            output, exit_code = api.run_experiment_cli(args)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
@@ -165,8 +252,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         output = _cmd_trace(args.cluster, args.count, args.seed, args.out)
     elif args.command == "run-scenario":
         try:
-            output, exit_code = scenario_runner.run_cli(
+            output, exit_code = api.run_scenario_cli(
                 args.specs, jobs=args.jobs, json_path=args.json_path or ""
+            )
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.command == "run-chaos":
+        try:
+            output, exit_code = api.run_chaos_cli(
+                args.specs,
+                faults=_chaos_overlay(args),
+                jobs=args.jobs,
+                json_path=args.json_path or "",
             )
         except (OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)

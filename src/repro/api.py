@@ -1,0 +1,192 @@
+"""The unified public facade — the one import the toolkit asks you for.
+
+Everything a user (or the CLI) does goes through five verbs::
+
+    from repro import api
+
+    spec = api.load_spec("examples/incast_mixed.json")
+    result = api.simulate(spec)
+    print(api.format_report(result))
+
+    run = api.run_experiment(["fig4", "table1"], jobs=2)
+    print(api.format_report(run))
+
+    diff = api.diff_artifacts(api.load_artifact("old.json"), run.to_artifact())
+
+* :func:`load_spec` — a scenario spec from a JSON file or mapping.
+* :func:`simulate` — one spec → one :class:`ScenarioResult`, optionally
+  under a :class:`FaultSpec` (chaos mode).
+* :func:`run_experiment` — the paper's tables/figures via the parallel
+  harness; returns a :class:`HarnessRun`.
+* :func:`diff_artifacts` — compare two experiment artifacts
+  metric-by-metric against the paper-target bands.
+* :func:`format_report` — the human-readable report for either result
+  kind.
+
+The deeper modules remain importable (this facade is a thin veneer, not
+a wall), but the old convenience entry points
+(``repro.scenario.run_scenario`` and friends) now emit
+``DeprecationWarning`` and forward here.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, List, Mapping, Optional, Sequence, Union
+
+from repro.analysis.targets import PAPER_TARGETS
+from repro.driver.registry import NIC_KINDS, make_node
+from repro.experiments.harness import (
+    ArtifactDiff,
+    HarnessRun,
+    append_bench_run,
+    check_bench_regression,
+)
+from repro.experiments.harness import diff_artifacts as _diff_artifacts
+from repro.experiments.harness import load_artifact
+from repro.experiments.harness import run_experiments as _run_experiments
+from repro.experiments.oneway import OneWayResult, measure_one_way
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    add_runner_arguments,
+    positive_int,
+)
+from repro.experiments.runner import run_cli as run_experiment_cli
+from repro.faults import (
+    FAULT_SWITCH_MODES,
+    FaultInjector,
+    FaultSpec,
+    LinkFaultSpec,
+    LinkKillSpec,
+    RecoverySpec,
+    StallSpec,
+)
+from repro.params import DEFAULT, SystemParams, apply_overrides
+from repro.scenario.builder import (
+    Scenario,
+    ScenarioResult,
+    build_scenario,
+    dump_artifact,
+    scenario_artifact,
+)
+from repro.scenario.builder import format_report as _format_scenario_report
+from repro.scenario.runner import (
+    build_fault_overlay,
+    parse_kill,
+    run_chaos_cli,
+    run_chaos_files,
+    run_scenario_files,
+)
+from repro.scenario.runner import run_cli as run_scenario_cli
+from repro.scenario.spec import FabricSpec, NodeSpec, ScenarioSpec, TrafficSpec
+from repro.workloads.trace_io import save_trace
+from repro.workloads.traces import ClusterKind, TraceGenerator
+
+__all__ = [
+    # the five facade verbs
+    "load_spec",
+    "simulate",
+    "run_experiment",
+    "diff_artifacts",
+    "format_report",
+    # scenario toolkit
+    "FabricSpec",
+    "NodeSpec",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TrafficSpec",
+    "build_scenario",
+    "dump_artifact",
+    "run_scenario_cli",
+    "run_scenario_files",
+    "scenario_artifact",
+    # faults / chaos
+    "FAULT_SWITCH_MODES",
+    "FaultInjector",
+    "FaultSpec",
+    "LinkFaultSpec",
+    "LinkKillSpec",
+    "RecoverySpec",
+    "StallSpec",
+    "build_fault_overlay",
+    "parse_kill",
+    "run_chaos_cli",
+    "run_chaos_files",
+    # experiments
+    "EXPERIMENTS",
+    "HarnessRun",
+    "OneWayResult",
+    "add_runner_arguments",
+    "append_bench_run",
+    "check_bench_regression",
+    "load_artifact",
+    "measure_one_way",
+    "positive_int",
+    "run_experiment_cli",
+    # params / registry / workloads
+    "DEFAULT",
+    "NIC_KINDS",
+    "PAPER_TARGETS",
+    "ClusterKind",
+    "SystemParams",
+    "TraceGenerator",
+    "apply_overrides",
+    "make_node",
+    "save_trace",
+]
+
+
+def load_spec(source: Union[str, Mapping[str, Any]]) -> ScenarioSpec:
+    """A :class:`ScenarioSpec` from a JSON file path or a mapping."""
+    if isinstance(source, Mapping):
+        return ScenarioSpec.from_dict(source)
+    with open(source, "r", encoding="utf-8") as handle:
+        return ScenarioSpec.from_dict(json.load(handle))
+
+
+def simulate(
+    spec: ScenarioSpec,
+    base_params: Optional[SystemParams] = None,
+    faults: Optional[FaultSpec] = None,
+) -> ScenarioResult:
+    """Build and run one scenario; returns its result.
+
+    ``faults`` (when given) replaces the spec's own ``faults`` section —
+    the quick way to re-run an existing scenario under chaos.
+    """
+    if faults is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, faults=faults)
+    return build_scenario(spec, base_params=base_params).run()
+
+
+def run_experiment(
+    names: Optional[Sequence[str]] = None, jobs: int = 1
+) -> HarnessRun:
+    """Run the paper's experiments (all when ``names`` is None)."""
+    return _run_experiments(names, jobs=jobs)
+
+
+def diff_artifacts(
+    current: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerance: float = 0.0,
+) -> ArtifactDiff:
+    """Metric-by-metric comparison of two experiment artifacts
+    (:func:`repro.experiments.harness.diff_artifacts` argument order:
+    current first, baseline second)."""
+    return _diff_artifacts(current, baseline, tolerance)
+
+
+def format_report(result: Union[ScenarioResult, HarnessRun]) -> str:
+    """The human-readable report for either result kind."""
+    if isinstance(result, ScenarioResult):
+        return _format_scenario_report(result)
+    if isinstance(result, HarnessRun):
+        return result.report_text()
+    raise TypeError(
+        f"cannot format a {type(result).__name__}; "
+        "expected ScenarioResult or HarnessRun"
+    )

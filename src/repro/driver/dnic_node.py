@@ -37,11 +37,13 @@ class DiscreteNICNode(ServerNode):
         self,
         sim: Simulator,
         name: str,
+        *,
         params: Optional[SystemParams] = None,
+        overrides: Optional[dict] = None,
         zero_copy: bool = False,
         normal_zone_bytes: int = mib(64),
     ):
-        super().__init__(sim, name, params)
+        super().__init__(sim, name, params=params, overrides=overrides)
         self.zero_copy = zero_copy
         self.host_mc = MemoryController(sim, f"{name}.mc0", self.params.host_dram)
         self.pcie = PCIeLink(sim, f"{name}.pcie", self.params.pcie)

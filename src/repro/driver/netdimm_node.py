@@ -52,13 +52,15 @@ class NetDIMMNode(ServerNode):
         self,
         sim: Simulator,
         name: str,
+        *,
         params: Optional[SystemParams] = None,
+        overrides: Optional[dict] = None,
         normal_zone_bytes: int = mib(64),
         netdimm_index: int = 0,
         use_subarray_hint: bool = True,
         use_alloc_cache: bool = True,
     ):
-        super().__init__(sim, name, params)
+        super().__init__(sim, name, params=params, overrides=overrides)
         self.netdimm_index = netdimm_index
         self.use_subarray_hint = use_subarray_hint
         """Ablation switch: pass the DMA-buffer hint to allocations (off

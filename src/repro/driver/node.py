@@ -18,17 +18,58 @@ the two is owned by the link/fabric models.
 A small :class:`Stopwatch` helper keeps segment charging honest: the
 elapsed simulated time between laps is charged, so queueing delays
 inside the hardware models land in the right segment automatically.
+
+The node also owns the driver's loss-recovery loop
+(:meth:`ServerNode.send_reliably`): a retransmission timer armed per
+attempt, exponential backoff between timeouts, and a retransmit budget
+whose exhaustion surfaces the packet as lost instead of hanging the
+simulation.  When the scenario injects no faults none of it is
+entered, so the zero-fault event sequence is untouched.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Tuple
 
 from repro.driver.polling import detection_cost
+from repro.faults.engine import stall_delay
+from repro.faults.spec import RecoverySpec
 from repro.net.packet import Packet
-from repro.params import SystemParams
+from repro.params import SystemParams, apply_overrides
 from repro.sim import Component, Future, Simulator
-from repro.units import cachelines
+from repro.units import cachelines, ns
+
+
+def _complete_timeout(verdict: Future) -> None:
+    """Retransmission timer callback: report a timeout, unless the
+    delivery already won the race at this exact tick."""
+    if not verdict.done:
+        verdict.set_result("timeout")
+
+
+class FlowRecovery:
+    """Recovery counters for one flow group (mutated by
+    :meth:`ServerNode.send_reliably`, reported in the scenario artifact).
+    """
+
+    __slots__ = ("delivered", "lost", "drops", "retransmits", "timeouts")
+
+    def __init__(self):
+        self.delivered = 0
+        self.lost = 0
+        self.drops = 0
+        self.retransmits = 0
+        self.timeouts = 0
+
+    def as_dict(self) -> dict:
+        """JSON-safe rendering, fixed key order."""
+        return {
+            "delivered": self.delivered,
+            "lost": self.lost,
+            "drops": self.drops,
+            "retransmits": self.retransmits,
+            "timeouts": self.timeouts,
+        }
 
 
 class Stopwatch:
@@ -54,23 +95,112 @@ class ServerNode(Component):
 
     nic_kind = "abstract"
 
-    def __init__(self, sim: Simulator, name: str, params: Optional[SystemParams] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        params: Optional[SystemParams] = None,
+        overrides: Optional[dict] = None,
+    ):
         super().__init__(sim, name)
-        self.params = params or SystemParams()
+        base = params if params is not None else SystemParams()
+        self.params = apply_overrides(base, overrides) if overrides else base
+        self.fault_stalls: Tuple[Tuple[int, int], ...] = ()
+        """Stall windows as (start, end) ticks — set by the scenario
+        builder from the fault spec; empty means no gating at all."""
 
     # -- the two path processes (subclasses implement the bodies) -------------
 
     def transmit(self, packet: Packet) -> Future:
         """Run the TX path; future completes when the MAC takes the frame."""
         done = self.sim.future()
-        self.sim.spawn(self._transmit_body(packet, done), name=f"{self.name}.tx")
+        body = self._transmit_body(packet, done)
+        if self.fault_stalls:
+            body = self._stall_gate(body)
+        self.sim.spawn(body, name=f"{self.name}.tx")
         return done
 
     def receive(self, packet: Packet) -> Future:
         """Run the RX path; future completes at delivery to upper layers."""
         done = self.sim.future()
-        self.sim.spawn(self._receive_body(packet, done), name=f"{self.name}.rx")
+        body = self._receive_body(packet, done)
+        if self.fault_stalls:
+            body = self._stall_gate(body)
+        self.sim.spawn(body, name=f"{self.name}.rx")
         return done
+
+    def _stall_gate(self, body):
+        """Delay ``body`` until the current stall window (if any) ends."""
+        delay = stall_delay(self.fault_stalls, self.now)
+        if delay:
+            self.stats.count("stall_waits")
+            yield delay
+        yield from body
+
+    # -- driver-level loss recovery -------------------------------------------
+
+    def send_reliably(
+        self,
+        packet: Packet,
+        transit: Callable[[Packet], "object"],
+        receiver: "ServerNode",
+        recovery: RecoverySpec,
+        counters: FlowRecovery,
+    ):
+        """One packet's reliable delivery loop (``yield from`` this).
+
+        Each attempt runs TX → fabric transit → RX with a cancellable
+        retransmission timer racing it; a dropped attempt simply never
+        completes and the timer fires.  Timeouts retransmit with
+        exponential backoff until the budget is exhausted, at which
+        point the packet is abandoned as lost.  Returns True when the
+        packet was delivered, False when it was lost.
+
+        ``transit`` is called per attempt and must return a fresh
+        transit generator that itself returns True/False (the fabric
+        ``transit`` protocol).
+        """
+        timeout = int(ns(recovery.timeout_ns))
+        while True:
+            verdict = self.sim.future()
+            timer = self.sim.call_later(timeout, _complete_timeout, verdict)
+            self.sim.spawn(
+                self._attempt_body(packet, transit, receiver, verdict, timer, counters),
+                name=f"{self.name}.attempt",
+            )
+            outcome = yield verdict
+            if outcome == "delivered":
+                counters.delivered += 1
+                return True
+            counters.timeouts += 1
+            if packet.attempt >= recovery.max_retransmits:
+                counters.lost += 1
+                return False
+            packet.attempt += 1
+            counters.retransmits += 1
+            timeout = int(timeout * recovery.backoff)
+
+    def _attempt_body(
+        self,
+        packet: Packet,
+        transit: Callable[[Packet], "object"],
+        receiver: "ServerNode",
+        verdict: Future,
+        timer,
+        counters: FlowRecovery,
+    ):
+        yield self.transmit(packet)
+        arrived = yield from transit(packet)
+        if not arrived:
+            # The frame vanished mid-fabric: nobody tells the sender —
+            # the retransmission timer is the only way it finds out.
+            counters.drops += 1
+            return
+        yield receiver.receive(packet)
+        if not verdict.done:
+            timer.cancel()
+            verdict.set_result("delivered")
 
     def _transmit_body(self, packet: Packet, done: Future):
         raise NotImplementedError

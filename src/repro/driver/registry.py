@@ -22,18 +22,18 @@ NodeFactory = Callable[[Simulator, str, SystemParams], ServerNode]
 
 NIC_REGISTRY: Dict[str, NodeFactory] = {
     "dnic": lambda sim, name, params: DiscreteNICNode(
-        sim, name, params, zero_copy=False
+        sim, name, params=params, zero_copy=False
     ),
     "dnic.zcpy": lambda sim, name, params: DiscreteNICNode(
-        sim, name, params, zero_copy=True
+        sim, name, params=params, zero_copy=True
     ),
     "inic": lambda sim, name, params: IntegratedNICNode(
-        sim, name, params, zero_copy=False
+        sim, name, params=params, zero_copy=False
     ),
     "inic.zcpy": lambda sim, name, params: IntegratedNICNode(
-        sim, name, params, zero_copy=True
+        sim, name, params=params, zero_copy=True
     ),
-    "netdimm": lambda sim, name, params: NetDIMMNode(sim, name, params),
+    "netdimm": lambda sim, name, params: NetDIMMNode(sim, name, params=params),
 }
 
 NIC_KINDS = tuple(NIC_REGISTRY)

@@ -99,10 +99,10 @@ def _variant_setup(variant: str, params: SystemParams):
 
 def _one_way_netdimm(params: SystemParams, size: int, **node_kwargs) -> int:
     sim = Simulator()
-    sender = NetDIMMNode(sim, "tx", params, **node_kwargs)
-    receiver = NetDIMMNode(sim, "rx", params, **node_kwargs)
+    sender = NetDIMMNode(sim, "tx", params=params, **node_kwargs)
+    receiver = NetDIMMNode(sim, "rx", params=params, **node_kwargs)
     sender.warm_up()
-    wire = EthernetWire(sim, "wire", params.network)
+    wire = EthernetWire(sim, "wire", params=params.network)
 
     def flow(packet: Packet):
         yield sender.transmit(packet)
@@ -121,7 +121,7 @@ def _one_way_netdimm(params: SystemParams, size: int, **node_kwargs) -> int:
 def _payload_read_time(params: SystemParams, size: int) -> int:
     """Host reads a received packet line by line (DPI-style consumer)."""
     sim = Simulator()
-    node = NetDIMMNode(sim, "node", params)
+    node = NetDIMMNode(sim, "node", params=params)
     node.warm_up()
     device: NetDIMMDevice = node.device
     buffer, _fast = node.alloc_cache.get(hint=None)

@@ -67,7 +67,7 @@ def _stream(config: str, params: SystemParams, packets: int) -> float:
     node = make_node(sim, "tx", config, params)
     if hasattr(node, "warm_up"):
         node.warm_up()
-    wire = EthernetWire(sim, "wire", params.network)
+    wire = EthernetWire(sim, "wire", params=params.network)
     mtu = params.network.mtu_bytes
     delivered = {"bytes": 0, "last_arrival": 0}
 

@@ -100,7 +100,7 @@ def run(params: Optional[SystemParams] = None, sizes: Tuple[int, ...] = PACKET_S
             result = measure_one_way(config, size, params)
             latency[(config, size)] = result
             if config.startswith("dnic"):
-                probe = DiscreteNICNode(Simulator(), "probe", params)
+                probe = DiscreteNICNode(Simulator(), "probe", params=params)
                 overhead = probe.pcie_overhead_estimate(size)
                 pcie_fraction[(config, size)] = min(1.0, overhead / result.total_ticks)
     return Fig4Result(latency=latency, pcie_overhead_fraction=pcie_fraction)

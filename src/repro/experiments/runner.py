@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.experiments import (
     ablation,
     bandwidth,
+    faults,
     feasibility,
     fig4,
     fig5,
@@ -50,6 +51,7 @@ EXPERIMENTS: Dict[str, Tuple[Callable[[], object], Callable[[object], str]]] = {
     "kernel_stack": (kernel_stack.run, kernel_stack.format_report),
     "loaded_latency": (loaded_latency.run, loaded_latency.format_report),
     "feasibility": (feasibility.run, feasibility.format_report),
+    "faults": (faults.run, faults.format_report),
 }
 
 

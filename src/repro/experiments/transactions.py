@@ -70,9 +70,9 @@ def run(params: Optional[SystemParams] = None) -> TransactionsResult:
     """Run one request-response on dNIC nodes and count traversals."""
     params = params or DEFAULT
     sim = Simulator()
-    client = DiscreteNICNode(sim, "client", params)
-    server = DiscreteNICNode(sim, "server", params)
-    wire = EthernetWire(sim, "wire", params.network)
+    client = DiscreteNICNode(sim, "client", params=params)
+    server = DiscreteNICNode(sim, "server", params=params)
+    wire = EthernetWire(sim, "wire", params=params.network)
 
     def request_response():
         request = Packet(size_bytes=REQUEST_BYTES)

@@ -1,0 +1,44 @@
+"""Seeded, deterministic fault injection and recovery.
+
+The paper's latency claims assume a lossless fabric; this package
+models what happens when it isn't.  A :class:`FaultSpec` (attached to a
+:class:`~repro.scenario.spec.ScenarioSpec`, JSON-round-trippable)
+describes per-link drop/bit-error probability, the switches'
+queue-overflow policy (lossy vs. the default PFC-style backpressure),
+NIC/DIMM stall windows, and deterministic "kill link X at tick T"
+schedules.  A :class:`FaultInjector` turns the spec into per-packet
+verdicts using hash-keyed RNG streams, so whether a given attempt is
+dropped depends only on ``(seed, link, packet, attempt)`` — never on
+event interleaving — which is what keeps seeded fault scenarios
+byte-identical between serial and parallel runs.
+
+Recovery lives in the driver layer
+(:meth:`repro.driver.node.ServerNode.send_reliably`): a cancellable
+retransmission timer per attempt, exponential backoff, and a retransmit
+budget whose exhaustion surfaces as a per-flow ``lost`` outcome.
+
+When a scenario carries no ``FaultSpec``, none of this is consulted:
+the zero-fault event sequence is byte-identical to a build without
+this package.
+"""
+
+from repro.faults.engine import FaultInjector, stall_delay
+from repro.faults.spec import (
+    FAULT_SWITCH_MODES,
+    FaultSpec,
+    LinkFaultSpec,
+    LinkKillSpec,
+    RecoverySpec,
+    StallSpec,
+)
+
+__all__ = [
+    "FAULT_SWITCH_MODES",
+    "FaultInjector",
+    "FaultSpec",
+    "LinkFaultSpec",
+    "LinkKillSpec",
+    "RecoverySpec",
+    "StallSpec",
+    "stall_delay",
+]

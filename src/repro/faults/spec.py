@@ -1,0 +1,173 @@
+"""Declarative fault descriptions (the ``faults`` section of a spec).
+
+Everything here is a frozen dataclass that round-trips through JSON
+with the same strict unknown-field parsing the scenario spec uses, so a
+chaos scenario is still just a file: the fault model, the recovery
+knobs, and the seed all live in the spec, and the same spec always
+yields a byte-identical artifact.
+
+Times are nanoseconds (floats), matching the traffic spec; they are
+converted to integer ticks at the point of use.  Link patterns are
+``fnmatch`` globs over directional edge keys ``"u->v"`` (host and
+switch names as the topology spells them), so ``"*"`` faults every
+link and ``"dc0/c0/r0/h0->*"`` faults one host's uplink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+FAULT_SWITCH_MODES = ("backpressure", "lossy")
+
+
+@dataclass(frozen=True)
+class LinkFaultSpec:
+    """Random per-attempt faults on matching links."""
+
+    link: str = "*"
+    """``fnmatch`` pattern over directional edge keys ``"u->v"``."""
+
+    drop_probability: float = 0.0
+    """Probability a frame vanishes on this link (per attempt)."""
+
+    corrupt_probability: float = 0.0
+    """Probability a frame arrives bit-errored (FCS check fails at the
+    receiver, so the outcome is also a drop — counted separately)."""
+
+    def __post_init__(self):
+        if not self.link:
+            raise ValueError("link pattern must be non-empty")
+        for name in ("drop_probability", "corrupt_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclass(frozen=True)
+class LinkKillSpec:
+    """Deterministic link death: every frame on a matching link is lost
+    from ``at_ns`` until ``restore_ns`` (forever when None)."""
+
+    link: str
+    at_ns: float = 0.0
+    restore_ns: Optional[float] = None
+
+    def __post_init__(self):
+        if not self.link:
+            raise ValueError("link pattern must be non-empty")
+        if self.at_ns < 0:
+            raise ValueError(f"at_ns must be >= 0, got {self.at_ns}")
+        if self.restore_ns is not None and self.restore_ns <= self.at_ns:
+            raise ValueError(
+                f"restore_ns ({self.restore_ns}) must be after at_ns ({self.at_ns})"
+            )
+
+
+@dataclass(frozen=True)
+class StallSpec:
+    """A NIC/DIMM stall window: the named node starts no TX or RX work
+    inside ``[at_ns, at_ns + duration_ns)`` — packets wait it out."""
+
+    node: str
+    at_ns: float = 0.0
+    duration_ns: float = 0.0
+
+    def __post_init__(self):
+        if not self.node:
+            raise ValueError("stall needs a node name")
+        if self.at_ns < 0:
+            raise ValueError(f"at_ns must be >= 0, got {self.at_ns}")
+        if self.duration_ns <= 0:
+            raise ValueError(
+                f"duration_ns must be positive, got {self.duration_ns}"
+            )
+
+
+@dataclass(frozen=True)
+class RecoverySpec:
+    """Driver-level timeout + retransmission policy."""
+
+    timeout_ns: float = 50_000.0
+    """Retransmission timer armed per attempt (~10x an unloaded
+    one-way, so a healthy fabric never times out)."""
+
+    backoff: float = 2.0
+    """Exponential backoff factor between consecutive timeouts."""
+
+    max_retransmits: int = 5
+    """Retransmit budget; exhaustion surfaces the flow as ``lost``."""
+
+    def __post_init__(self):
+        if self.timeout_ns <= 0:
+            raise ValueError(f"timeout_ns must be positive, got {self.timeout_ns}")
+        if self.backoff < 1.0:
+            raise ValueError(f"backoff must be >= 1, got {self.backoff}")
+        if self.max_retransmits < 0:
+            raise ValueError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """The complete fault model for one scenario."""
+
+    links: Tuple[LinkFaultSpec, ...] = ()
+    """Random link faults; the first pattern matching an edge wins."""
+
+    kills: Tuple[LinkKillSpec, ...] = ()
+    stalls: Tuple[StallSpec, ...] = ()
+    switch_drop_mode: str = "backpressure"
+    """What a full switch output queue does to the next frame:
+    ``backpressure`` stalls ingress (lossless PFC, the default);
+    ``lossy`` drops it on the floor and lets recovery deal with it."""
+
+    recovery: RecoverySpec = field(default_factory=RecoverySpec)
+
+    def __post_init__(self):
+        if self.switch_drop_mode not in FAULT_SWITCH_MODES:
+            raise ValueError(
+                f"unknown switch_drop_mode {self.switch_drop_mode!r} "
+                f"(expected one of {FAULT_SWITCH_MODES})"
+            )
+
+    # -- JSON round trip ------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe rendering (tuples stay tuples; the scenario spec's
+        ``_normalize`` flattens them on save)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, document: Mapping[str, Any]) -> "FaultSpec":
+        """Parse a faults document (inverse of :meth:`to_dict`)."""
+        known = {f.name for f in fields(cls)}
+        payload: Dict[str, Any] = {}
+        for key, value in document.items():
+            if key not in known:
+                raise ValueError(f"unknown FaultSpec field: {key!r}")
+            payload[key] = value
+        payload["links"] = tuple(
+            _from_mapping(LinkFaultSpec, item) for item in payload.get("links", ())
+        )
+        payload["kills"] = tuple(
+            _from_mapping(LinkKillSpec, item) for item in payload.get("kills", ())
+        )
+        payload["stalls"] = tuple(
+            _from_mapping(StallSpec, item) for item in payload.get("stalls", ())
+        )
+        if "recovery" in payload:
+            payload["recovery"] = _from_mapping(RecoverySpec, payload["recovery"])
+        return cls(**payload)
+
+
+def _from_mapping(cls, document: Mapping[str, Any]):
+    """Build a fault dataclass from a mapping, rejecting unknown keys."""
+    known = {f.name for f in fields(cls)}
+    payload = {}
+    for key, value in document.items():
+        if key not in known:
+            raise ValueError(f"unknown {cls.__name__} field: {key!r}")
+        payload[key] = value
+    return cls(**payload)

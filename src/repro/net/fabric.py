@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.faults.engine import OK, FaultInjector
 from repro.net.link import EthernetWire
 from repro.net.packet import Packet
 from repro.net.switch import Switch
@@ -52,14 +53,17 @@ class DirectFabric(Component):
         sim: Simulator,
         name: str,
         hosts: Tuple[str, str],
+        *,
         params: Optional[NetworkParams] = None,
+        injector: Optional[FaultInjector] = None,
     ):
         super().__init__(sim, name)
         if len(hosts) != 2 or hosts[0] == hosts[1]:
             raise ValueError(f"direct fabric needs two distinct hosts, got {hosts!r}")
         self.params = params or NetworkParams()
         self.hosts = tuple(hosts)
-        self.wire = EthernetWire(sim, f"{name}.wire", self.params)
+        self.injector = injector
+        self.wire = EthernetWire(sim, f"{name}.wire", params=self.params)
 
     def host_names(self) -> List[str]:
         """The two attachable host names."""
@@ -77,12 +81,21 @@ class DirectFabric(Component):
             )
 
     def transit(self, packet: Packet, src: str, dst: str):
-        """Carry ``packet`` from ``src`` to ``dst`` (``yield from`` this)."""
+        """Carry ``packet`` from ``src`` to ``dst`` (``yield from`` this).
+
+        Returns True when the packet arrived; False when the fault
+        injector ate it on the wire (the attempt still consumed the
+        full wire traversal — the sender only learns via timeout).
+        """
         self._check(src, dst)
         start = self.now
         # The wire is full duplex: each direction has its own bus.
         yield self.wire.transmit(packet.size_bytes, reverse=src == self.hosts[1])
         packet.breakdown.add("wire", self.now - start)
+        if self.injector is not None:
+            if self.injector.link_verdict(f"{src}->{dst}", self.now, packet) != OK:
+                return False
+        return True
 
 
 class ClosFabric(Component):
@@ -95,15 +108,26 @@ class ClosFabric(Component):
         sim: Simulator,
         name: str,
         topology: Optional[ClosTopology] = None,
+        *,
         queue_depth: Optional[int] = 16,
+        drop_mode: str = "backpressure",
+        injector: Optional[FaultInjector] = None,
     ):
         super().__init__(sim, name)
         self.topology = topology or ClosTopology()
         self.params = self.topology.params
         self.queue_depth = queue_depth
+        self.drop_mode = drop_mode
+        self.injector = injector
         graph = self.topology.graph
         self.switches: Dict[str, Switch] = {
-            node: Switch(sim, f"{name}.{node}", self.params, queue_depth=queue_depth)
+            node: Switch(
+                sim,
+                f"{name}.{node}",
+                params=self.params,
+                queue_depth=queue_depth,
+                drop_mode=drop_mode,
+            )
             for node, data in sorted(graph.nodes(data=True))
             if data["tier"] != "host"
         }
@@ -141,10 +165,9 @@ class ClosFabric(Component):
         return len(self.route(src, dst)) - 2
 
     def _serialization(self, size_bytes: int) -> int:
-        framed = max(size_bytes, self.params.min_frame_bytes) + (
-            self.params.ethernet_overhead_bytes
+        return transfer_time(
+            self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
         )
-        return transfer_time(framed, self.params.link_bytes_per_ps)
 
     def transit(self, packet: Packet, src: str, dst: str):
         """Carry ``packet`` hop by hop from ``src`` to ``dst``.
@@ -152,34 +175,61 @@ class ClosFabric(Component):
         Drive with ``yield from`` inside a flow process.  The elapsed
         time — including any egress queueing and backpressure stalls —
         is charged to the ``wire`` breakdown segment.
+
+        Returns True on delivery; False when a link fault or a lossy
+        switch overflow ate the packet mid-path.  A faulted attempt
+        still pays the traversal up to the failing hop — the sender
+        only learns about the loss via its retransmission timer.
         """
         start = self.now
         path = self.route(src, dst, packet.flow_id)
         tiers = self.topology.graph.nodes
+        injector = self.injector
+        delivered = True
         # Sender NIC: MAC/PHY, then the host uplink serializes departures.
         yield self.params.mac_phy_latency
         yield from self._uplink(src).use(self._serialization(packet.size_bytes))
         yield self.params.propagation
-        # Each switch: pipeline + contended finite-depth egress + cable.
-        for node, next_hop in zip(path[1:-1], path[2:]):
-            yield from self.switches[node].forward_transit(
-                packet.size_bytes, egress_port=next_hop
-            )
-            if (
-                tiers[node]["tier"] == "edge"
-                and next_hop in self.switches
-                and tiers[next_hop]["tier"] == "edge"
-            ):
-                # The inter-DC edge-to-edge link is metro fiber, not a
-                # rack cable: add the WAN propagation on top.
-                yield INTER_DC_WAN_PROPAGATION
-        # Receiver NIC MAC/PHY.
-        yield self.params.mac_phy_latency
+        if injector is not None and (
+            injector.link_verdict(f"{src}->{path[1]}", self.now, packet) != OK
+        ):
+            delivered = False
+        if delivered:
+            # Each switch: pipeline + contended finite-depth egress + cable.
+            for node, next_hop in zip(path[1:-1], path[2:]):
+                forwarded = yield from self.switches[node].forward_transit(
+                    packet.size_bytes, egress_port=next_hop
+                )
+                if forwarded is False:
+                    # Lossy-mode output-queue overflow at this switch.
+                    delivered = False
+                    break
+                if (
+                    tiers[node]["tier"] == "edge"
+                    and next_hop in self.switches
+                    and tiers[next_hop]["tier"] == "edge"
+                ):
+                    # The inter-DC edge-to-edge link is metro fiber, not a
+                    # rack cable: add the WAN propagation on top.
+                    yield INTER_DC_WAN_PROPAGATION
+                if injector is not None and (
+                    injector.link_verdict(f"{node}->{next_hop}", self.now, packet)
+                    != OK
+                ):
+                    delivered = False
+                    break
+        if delivered:
+            # Receiver NIC MAC/PHY.
+            yield self.params.mac_phy_latency
         elapsed = self.now - start
         packet.breakdown.add("wire", elapsed)
-        self.stats.count("packets")
-        self.stats.count("bytes", packet.size_bytes)
-        self.stats.sample("transit_ns", elapsed / 1000)
+        if delivered:
+            self.stats.count("packets")
+            self.stats.count("bytes", packet.size_bytes)
+            self.stats.sample("transit_ns", elapsed / 1000)
+        else:
+            self.stats.count("dropped")
+        return delivered
 
     def stall_count(self) -> int:
         """Total ingress stalls on full output queues, fabric-wide."""
@@ -192,5 +242,12 @@ class ClosFabric(Component):
         """Total per-switch forward operations, fabric-wide."""
         return sum(
             switch.stats.get_counter("forwarded")
+            for switch in self.switches.values()
+        )
+
+    def overflow_count(self) -> int:
+        """Total lossy-mode output-queue overflow drops, fabric-wide."""
+        return sum(
+            switch.stats.get_counter("overflow_drops")
             for switch in self.switches.values()
         )

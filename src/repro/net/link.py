@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.params import NetworkParams
+from repro.params import DEFAULT, NetworkParams
 from repro.sim import Component, Future, Resource, Simulator
 from repro.units import transfer_time
 
@@ -18,16 +18,21 @@ from repro.units import transfer_time
 class EthernetWire(Component):
     """One full-duplex point-to-point Ethernet link."""
 
-    def __init__(self, sim: Simulator, name: str, params: Optional[NetworkParams] = None):
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        *,
+        params: Optional[NetworkParams] = None,
+    ):
         super().__init__(sim, name)
-        self.params = params or NetworkParams()
+        self.params = params if params is not None else DEFAULT.network
         self._tx_bus = Resource(sim, name=f"{name}.txbus")
         self._rx_bus = Resource(sim, name=f"{name}.rxbus")
 
     def frame_bytes(self, size_bytes: int) -> int:
         """On-wire bytes for a packet, with padding and framing."""
-        padded = max(size_bytes, self.params.min_frame_bytes)
-        return padded + self.params.ethernet_overhead_bytes
+        return self.params.framed_bytes(size_bytes)
 
     def serialization_ticks(self, size_bytes: int) -> int:
         """Time for the framed packet to cross the link at line rate."""

@@ -116,6 +116,18 @@ class Packet:
     was not allocated on the serving NetDIMM's zone (connection setup or
     zone-exhaustion fallback), forcing the slow copy path in Alg. 1."""
 
+    uid: Optional[int] = None
+    """Scenario-stable identity for fault injection: the packet's index
+    in the scenario's traffic plan.  Unlike ``packet_id`` (a process-wide
+    counter that differs between serial and pooled runs), ``uid`` is the
+    same for the same spec no matter how many scenarios share the
+    process, which is what keys fault verdicts deterministically.
+    ``None`` (warmup and non-scenario packets) is never faulted."""
+
+    attempt: int = 0
+    """Zero-based transmission attempt (bumped on each retransmit), so
+    every retry rolls a fresh fault verdict."""
+
     breakdown: Breakdown = field(default_factory=Breakdown)
 
     def __post_init__(self):

@@ -20,7 +20,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Dict, Optional
 
-from repro.params import NetworkParams
+from repro.faults.spec import FAULT_SWITCH_MODES
+from repro.params import DEFAULT, NetworkParams
 from repro.sim import Component, Future, Resource, Simulator
 from repro.units import transfer_time
 
@@ -32,14 +33,22 @@ class Switch(Component):
         self,
         sim: Simulator,
         name: str,
+        *,
         params: Optional[NetworkParams] = None,
         queue_depth: Optional[int] = None,
+        drop_mode: str = "backpressure",
     ):
         super().__init__(sim, name)
-        self.params = params or NetworkParams()
+        self.params = params if params is not None else DEFAULT.network
         if queue_depth is not None and queue_depth <= 0:
             raise ValueError(f"queue_depth must be positive, got {queue_depth}")
+        if drop_mode not in FAULT_SWITCH_MODES:
+            raise ValueError(
+                f"unknown drop_mode {drop_mode!r} "
+                f"(expected one of {FAULT_SWITCH_MODES})"
+            )
         self.queue_depth = queue_depth
+        self.drop_mode = drop_mode
         self._egress_ports: Dict[str, Resource] = {}
         self._occupancy: Dict[str, int] = {}
         self._slot_waiters: Dict[str, Deque[Future]] = {}
@@ -57,12 +66,11 @@ class Switch(Component):
         Switch pipeline + egress serialization of the framed packet +
         egress cable propagation.
         """
-        framed = max(size_bytes, self.params.min_frame_bytes) + (
-            self.params.ethernet_overhead_bytes
-        )
         return (
             self.params.switch_latency
-            + transfer_time(framed, self.params.link_bytes_per_ps)
+            + transfer_time(
+                self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
+            )
             + self.params.propagation
         )
 
@@ -80,27 +88,42 @@ class Switch(Component):
 
         Same event sequence without spawning a process per hop — the
         fabric transit path runs one of these per switch per packet.
+        Returns True when the frame was forwarded; False when a full
+        output queue in ``lossy`` drop mode ate it (cut-through: the
+        overflow is decided at ingress, before any time is charged).
         """
         start = self.now
         if self.queue_depth is not None:
-            yield from self._claim_slot(egress_port)
+            if self.drop_mode == "lossy":
+                if self._occupancy.get(egress_port, 0) >= self.queue_depth:
+                    self.stats.count("overflow_drops")
+                    return False
+                self._take_slot(egress_port)
+            else:
+                yield from self._claim_slot(egress_port)
         yield self.params.switch_latency
-        framed = max(size_bytes, self.params.min_frame_bytes) + (
-            self.params.ethernet_overhead_bytes
+        serialization = transfer_time(
+            self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
         )
-        serialization = transfer_time(framed, self.params.link_bytes_per_ps)
         yield from self._egress(egress_port).use(serialization)
         if self.queue_depth is not None:
             self._release_slot(egress_port)
         yield self.params.propagation
         self.stats.count("forwarded")
         self.stats.sample("hop_ns", (self.now - start) / 1000)
+        return True
 
     def _forward_body(self, size_bytes: int, egress_port: str, done: Future):
-        yield from self.forward_transit(size_bytes, egress_port)
-        done.set_result(None)
+        forwarded = yield from self.forward_transit(size_bytes, egress_port)
+        done.set_result(forwarded)
 
     # -- finite output queue --------------------------------------------------
+
+    def _take_slot(self, port: str) -> None:
+        """Occupy one output-queue slot on ``port`` (space must exist)."""
+        held = self._occupancy.get(port, 0) + 1
+        self._occupancy[port] = held
+        self.stats.sample("queue_depth", held)
 
     def _claim_slot(self, port: str):
         """Take one output-queue slot on ``port``, stalling while full."""
@@ -110,9 +133,7 @@ class Switch(Component):
             waiter = self.sim.future()
             self._slot_waiters.setdefault(port, deque()).append(waiter)
             yield waiter
-        held = occupancy.get(port, 0) + 1
-        occupancy[port] = held
-        self.stats.sample("queue_depth", held)
+        self._take_slot(port)
 
     def _release_slot(self, port: str) -> None:
         """Free one slot and wake the oldest stalled ingress, if any."""

@@ -14,7 +14,7 @@ dataclasses so ablations can tweak a single field.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict
+from typing import Dict, Mapping
 
 from repro.units import Gbps, GBps, ns, us
 
@@ -373,6 +373,16 @@ class NetworkParams:
     mtu_bytes: int = 1514
     """Sec. 5.1: MTU is set to 1514 B for the Facebook traces."""
 
+    def framed_bytes(self, size_bytes: int) -> int:
+        """On-wire bytes for a packet: minimum-frame padding + framing.
+
+        The single source of truth for Ethernet framing — the wire
+        model, the switch's closed-form and event-driven paths, and the
+        fabric's uplink serialization all call this, so an MTU or
+        overhead change cannot make them disagree.
+        """
+        return max(size_bytes, self.min_frame_bytes) + self.ethernet_overhead_bytes
+
 
 # ---------------------------------------------------------------------------
 # NIC device internals (common to dNIC / iNIC / nNIC).
@@ -482,6 +492,33 @@ class SystemParams:
 
 DEFAULT = SystemParams()
 """The Table 1 configuration used by all experiments unless overridden."""
+
+
+def apply_overrides(
+    params: SystemParams, overrides: Mapping[str, object]
+) -> SystemParams:
+    """Apply nested ``{section: {field: value}}`` overrides to params.
+
+    A mapping value patches fields inside that parameter section; a
+    plain value replaces a top-level :class:`SystemParams` field.
+    Unknown names raise, so spec typos fail loudly.  This is the one
+    parameter-overriding mechanism: component constructors and the
+    scenario builder both route per-instance customization through it.
+    """
+    for section, value in overrides.items():
+        if not hasattr(params, section):
+            raise ValueError(f"unknown SystemParams field: {section!r}")
+        if isinstance(value, Mapping):
+            current = getattr(params, section)
+            for name in value:
+                if not hasattr(current, name):
+                    raise ValueError(
+                        f"unknown {section} parameter: {name!r}"
+                    )
+            params = replace(params, **{section: replace(current, **value)})
+        else:
+            params = replace(params, **{section: value})
+    return params
 
 
 def table1_report(params: SystemParams = DEFAULT) -> Dict[str, str]:

@@ -16,46 +16,40 @@ pin.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Tuple
+import warnings
+from dataclasses import dataclass
+from dataclasses import field as dataclass_field
+from typing import Any, Dict, List, Optional, Tuple
 
+from repro.driver.node import FlowRecovery
 from repro.driver.registry import make_node
+from repro.faults import FaultInjector
 from repro.net.fabric import ClosFabric, DirectFabric
 from repro.net.packet import Packet
 from repro.net.topology import ClosConfig, ClosTopology
-from repro.params import DEFAULT, SystemParams
+from repro.params import DEFAULT, SystemParams, apply_overrides
 from repro.scenario.spec import ScenarioSpec
 from repro.scenario.traffic import FlowPacket, plan_traffic
 from repro.sim import Histogram, Simulator
 from repro.units import ns
 
+__all__ = [
+    "DeliveredPacket",
+    "Scenario",
+    "ScenarioResult",
+    "apply_overrides",  # canonical home is repro.params; re-exported for callers
+    "build_scenario",
+    "dump_artifact",
+    "format_report",
+    "run_scenario",
+    "scenario_artifact",
+]
+
 SCENARIO_SCHEMA = "netdimm-repro/scenario-artifact"
-SCENARIO_SCHEMA_VERSION = 1
-
-
-def apply_overrides(
-    params: SystemParams, overrides: Mapping[str, Any]
-) -> SystemParams:
-    """Apply nested ``{section: {field: value}}`` overrides to params.
-
-    A mapping value patches fields inside that parameter section; a
-    plain value replaces a top-level ``SystemParams`` field.  Unknown
-    names raise, so spec typos fail loudly.
-    """
-    for section, value in overrides.items():
-        if not hasattr(params, section):
-            raise ValueError(f"unknown SystemParams field: {section!r}")
-        if isinstance(value, Mapping):
-            current = getattr(params, section)
-            for name in value:
-                if not hasattr(current, name):
-                    raise ValueError(
-                        f"unknown {section} parameter: {name!r}"
-                    )
-            params = replace(params, **{section: replace(current, **value)})
-        else:
-            params = replace(params, **{section: value})
-    return params
+SCENARIO_SCHEMA_VERSION = 2
+"""v2 adds loss accounting: per-flow-group ``recovery`` counters, a
+top-level ``packets_lost``, fault counters in ``fabric``, and ``p999``
+in every latency summary."""
 
 
 @dataclass(frozen=True)
@@ -85,26 +79,38 @@ class ScenarioResult:
     """Mean per-packet breakdown segment (foreground packets), in us."""
 
     fabric: Dict[str, int]
-    """Fabric-wide counters: switch forwards, backpressure stalls."""
+    """Fabric-wide counters: switch forwards, backpressure stalls, and
+    (v2) injected link drops/corruptions and lossy overflow drops."""
+
+    packets_lost: int = 0
+    """Packets abandoned after the retransmit budget ran out."""
+
+    recovery: Dict[str, Dict[str, int]] = dataclass_field(default_factory=dict)
+    """Flow-group label → recovery counters (delivered/lost/drops/
+    retransmits/timeouts).  Empty when the scenario injected no faults."""
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe rendering (scenario-artifact schema v1)."""
+        """JSON-safe rendering (scenario-artifact schema v2)."""
         return {
             "name": self.name,
             "packets_delivered": self.packets_delivered,
+            "packets_lost": self.packets_lost,
             "sim_ticks": self.sim_ticks,
             "events_fired": self.events_fired,
             "flows": {label: dict(stats) for label, stats in self.flows.items()},
             "pairs": {label: dict(stats) for label, stats in self.pairs.items()},
             "segments_us": dict(self.segments_us),
             "fabric": dict(self.fabric),
+            "recovery": {
+                label: dict(stats) for label, stats in self.recovery.items()
+            },
         }
 
     def metrics(self) -> Dict[str, float]:
         """Scalar metrics, one namespace per flow group."""
         metrics: Dict[str, float] = {}
         for label, stats in sorted(self.flows.items()):
-            for key in ("mean", "p50", "p99"):
+            for key in ("mean", "p50", "p99", "p999"):
                 metrics[f"scenario.{self.name}.{label}.{key}_us"] = stats[key]
         return metrics
 
@@ -117,8 +123,19 @@ def format_report(result: ScenarioResult) -> str:
         f"{result.events_fired} events",
         f"fabric: {result.fabric.get('switch_forwards', 0)} switch forwards, "
         f"{result.fabric.get('egress_stalls', 0)} backpressure stalls",
-        f"{'flow':<32}{'count':>7}{'mean':>9}{'p50':>9}{'p99':>9}{'max':>9}  (us)",
     ]
+    if result.recovery:
+        drops = result.fabric.get("link_drops", 0) + result.fabric.get(
+            "overflow_drops", 0
+        )
+        retransmits = sum(c["retransmits"] for c in result.recovery.values())
+        lines.append(
+            f"faults: {drops} drops, {retransmits} retransmits, "
+            f"{result.packets_lost} packets lost"
+        )
+    lines.append(
+        f"{'flow':<32}{'count':>7}{'mean':>9}{'p50':>9}{'p99':>9}{'max':>9}  (us)"
+    )
     for label, stats in sorted(result.pairs.items()):
         lines.append(
             f"{label:<32}{stats['count']:>7.0f}{stats['mean']:>9.2f}"
@@ -146,15 +163,27 @@ class Scenario:
             )
         self.params = params
         self.sim = Simulator()
+        self.injector = (
+            FaultInjector(spec.faults, spec.seed)
+            if spec.faults is not None
+            else None
+        )
         self.nodes = {}
         for node_spec in spec.nodes:
             node_params = apply_overrides(params, node_spec.overrides)
-            self.nodes[node_spec.name] = make_node(
+            node = make_node(
                 self.sim, node_spec.name, node_spec.nic_kind, node_params
             )
+            if self.injector is not None:
+                stalls = self.injector.stall_windows(node_spec.name)
+                if stalls:
+                    node.fault_stalls = stalls
+            self.nodes[node_spec.name] = node
         self.fabric, self.placement = self._build_fabric()
         self.plan = plan_traffic(spec)
         self.delivered: List[DeliveredPacket] = []
+        self.lost: List[FlowPacket] = []
+        self.recovery: Dict[str, FlowRecovery] = {}
         self._remaining = 0
         self._all_done = None
 
@@ -169,7 +198,11 @@ class Scenario:
                     f"direct fabric needs exactly 2 nodes, got {len(names)}"
                 )
             fabric = DirectFabric(
-                self.sim, "fabric", tuple(names), self.params.network
+                self.sim,
+                "fabric",
+                tuple(names),
+                params=self.params.network,
+                injector=self.injector,
             )
             return fabric, {name: name for name in names}
         topology = ClosTopology(
@@ -184,7 +217,16 @@ class Scenario:
             params=self.params.network,
         )
         fabric = ClosFabric(
-            self.sim, "fabric", topology, queue_depth=spec.fabric.queue_depth
+            self.sim,
+            "fabric",
+            topology,
+            queue_depth=spec.fabric.queue_depth,
+            drop_mode=(
+                spec.faults.switch_drop_mode
+                if spec.faults is not None
+                else "backpressure"
+            ),
+            injector=self.injector,
         )
         placement: Dict[str, str] = {}
         available = [
@@ -255,8 +297,54 @@ class Scenario:
         if self._remaining == 0:
             self._all_done.set_result(None)
 
-    def _launch(self, flow: FlowPacket) -> None:
-        self.sim.spawn(self._measured_flow(flow), name=f"flow.{flow.group}")
+    def _measured_flow_reliable(self, flow: FlowPacket, uid: int):
+        """The measured flow under fault injection: reliable delivery.
+
+        ``uid`` is the packet's index in the traffic plan — the
+        process-independent identity the fault injector keys verdicts
+        on.  End-to-end latency includes every retransmission attempt.
+        """
+        packet = Packet(
+            size_bytes=flow.size_bytes,
+            src=flow.src,
+            dst=flow.dst,
+            flow_id=flow.flow_id,
+            uid=uid,
+        )
+        counters = self.recovery.setdefault(flow.group, FlowRecovery())
+        src_host = self.placement[flow.src]
+        dst_host = self.placement[flow.dst]
+        fabric = self.fabric
+
+        def transit(pkt: Packet):
+            return fabric.transit(pkt, src_host, dst_host)
+
+        start = self.sim.now
+        arrived = yield from self.nodes[flow.src].send_reliably(
+            packet,
+            transit,
+            self.nodes[flow.dst],
+            self.spec.faults.recovery,
+            counters,
+        )
+        if arrived:
+            self.delivered.append(
+                DeliveredPacket(
+                    plan=flow, latency_ticks=self.sim.now - start, packet=packet
+                )
+            )
+        else:
+            self.lost.append(flow)
+        self._remaining -= 1
+        if self._remaining == 0:
+            self._all_done.set_result(None)
+
+    def _launch(self, flow: FlowPacket, uid: int) -> None:
+        if self.injector is None:
+            body = self._measured_flow(flow)
+        else:
+            body = self._measured_flow_reliable(flow, uid)
+        self.sim.spawn(body, name=f"flow.{flow.group}")
 
     def run(self, max_events: Optional[int] = None) -> ScenarioResult:
         """Warm up, replay the plan, and summarize."""
@@ -268,8 +356,10 @@ class Scenario:
         start_tick = self.sim.now
         self._remaining = len(self.plan)
         self._all_done = self.sim.future()
-        for flow in self.plan:
-            self.sim.schedule_at(start_tick + flow.arrival, self._launch, flow)
+        for uid, flow in enumerate(self.plan):
+            self.sim.schedule_at(
+                start_tick + flow.arrival, self._launch, flow, uid
+            )
         if self.plan:
             self.sim.run_until(self._all_done, max_events=max_events)
         return self._summarize()
@@ -305,25 +395,52 @@ class Scenario:
             fabric_stats = {
                 "switch_forwards": self.fabric.forwarded_count(),
                 "egress_stalls": self.fabric.stall_count(),
+                "overflow_drops": self.fabric.overflow_count(),
             }
         else:
-            fabric_stats = {"switch_forwards": 0, "egress_stalls": 0}
+            fabric_stats = {
+                "switch_forwards": 0,
+                "egress_stalls": 0,
+                "overflow_drops": 0,
+            }
+        if self.injector is not None:
+            fabric_stats["link_drops"] = self.injector.counters["link_drops"]
+            fabric_stats["link_corruptions"] = self.injector.counters[
+                "link_corruptions"
+            ]
+        else:
+            fabric_stats["link_drops"] = 0
+            fabric_stats["link_corruptions"] = 0
         return ScenarioResult(
             name=self.spec.name,
             packets_delivered=len(self.delivered),
             sim_ticks=self.sim.now,
             events_fired=self.sim.events_fired,
             flows={
-                label: histogram.summary()
+                label: _latency_summary(histogram)
                 for label, histogram in sorted(flow_hist.items())
             },
             pairs={
-                label: histogram.summary()
+                label: _latency_summary(histogram)
                 for label, histogram in sorted(pair_hist.items())
             },
             segments_us=segments_us,
             fabric=fabric_stats,
+            packets_lost=len(self.lost),
+            recovery={
+                label: counters.as_dict()
+                for label, counters in sorted(self.recovery.items())
+            },
         )
+
+
+def _latency_summary(histogram: Histogram) -> Dict[str, float]:
+    """A histogram summary with the tail percentile the chaos sweeps
+    plot (``p999``).  Kept local so :meth:`Histogram.summary` — whose
+    key set older experiment artifacts pin — stays untouched."""
+    summary = histogram.summary()
+    summary["p999"] = histogram.percentile(99.9) if histogram.count else 0.0
+    return summary
 
 
 def build_scenario(
@@ -336,7 +453,16 @@ def build_scenario(
 def run_scenario(
     spec: ScenarioSpec, base_params: Optional[SystemParams] = None
 ) -> ScenarioResult:
-    """Build and run in one step."""
+    """Build and run in one step.
+
+    .. deprecated:: 1.1
+        Use :func:`repro.api.simulate` instead.
+    """
+    warnings.warn(
+        "repro.scenario.run_scenario is deprecated; use repro.api.simulate",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return build_scenario(spec, base_params=base_params).run()
 
 

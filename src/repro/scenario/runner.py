@@ -5,13 +5,23 @@ maps files onto a process pool.  Per-scenario results are deterministic
 and the artifact is assembled in input order, so the serial and
 parallel artifacts are byte-identical — pinned by the scenario
 determinism tests.
+
+``run-chaos`` is the fault-injecting sibling: the same machinery, but
+every spec gets a :class:`~repro.faults.FaultSpec` attached (built from
+CLI flags, or the spec file's own ``faults`` section, or an all-zero
+default that still arms the recovery path).  Fault verdicts are keyed
+on the spec seed and packet identity — never on process layout — so
+chaos artifacts are serial/parallel byte-identical too.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Sequence, Tuple
+from dataclasses import replace
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.faults import FaultSpec, LinkFaultSpec, LinkKillSpec, RecoverySpec
 from repro.scenario.builder import (
     SCENARIO_SCHEMA,
     SCENARIO_SCHEMA_VERSION,
@@ -34,6 +44,39 @@ def run_spec_file(path: str) -> Tuple[Dict[str, Any], Dict[str, Any], str]:
     return spec.to_dict(), result.to_dict(), format_report(result)
 
 
+def run_chaos_file(
+    path: str, faults: Optional[FaultSpec] = None
+) -> Tuple[Dict[str, Any], Dict[str, Any], str]:
+    """Worker entry point for chaos runs: one spec file under faults.
+
+    ``faults`` (when given) replaces the spec file's own ``faults``
+    section; when neither exists, a default :class:`FaultSpec` — zero
+    fault probability, recovery armed — is attached so the run
+    exercises the reliable-delivery path end to end.
+    """
+    spec = ScenarioSpec.load(path)
+    if faults is not None:
+        spec = replace(spec, faults=faults)
+    elif spec.faults is None:
+        spec = replace(spec, faults=FaultSpec())
+    scenario = build_scenario(spec)
+    result = scenario.run()
+    return spec.to_dict(), result.to_dict(), format_report(result)
+
+
+def _assemble(outcomes) -> Tuple[Dict[str, Any], List[str]]:
+    reports = [report for _spec, _result, report in outcomes]
+    document = {
+        "schema": SCENARIO_SCHEMA,
+        "schema_version": SCENARIO_SCHEMA_VERSION,
+        "scenarios": {
+            spec["name"]: {"spec": spec, "result": result}
+            for spec, result, _report in outcomes
+        },
+    }
+    return document, reports
+
+
 def run_scenario_files(
     paths: Sequence[str], jobs: int = 1
 ) -> Tuple[Dict[str, Any], List[str]]:
@@ -47,32 +90,109 @@ def run_scenario_files(
     else:
         with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
             outcomes = list(pool.map(run_spec_file, paths))
-    reports = [report for _spec, _result, report in outcomes]
-    document = {
-        "schema": SCENARIO_SCHEMA,
-        "schema_version": SCENARIO_SCHEMA_VERSION,
-        "scenarios": {
-            spec["name"]: {"spec": spec, "result": result}
-            for spec, result, _report in outcomes
-        },
-    }
-    return document, reports
+    return _assemble(outcomes)
 
 
-def run_cli(
-    paths: Sequence[str], jobs: int = 1, json_path: str = ""
-) -> Tuple[str, int]:
-    """CLI body for ``repro run-scenario``; returns (output, exit code)."""
+def run_chaos_files(
+    paths: Sequence[str], faults: Optional[FaultSpec] = None, jobs: int = 1
+) -> Tuple[Dict[str, Any], List[str]]:
+    """The chaos twin of :func:`run_scenario_files`.
+
+    ``functools.partial`` over the (picklable, frozen) fault spec keeps
+    the pool path working; output order always follows input order.
+    """
+    worker = partial(run_chaos_file, faults=faults)
+    if jobs <= 1 or len(paths) <= 1:
+        outcomes = [worker(path) for path in paths]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
+            outcomes = list(pool.map(worker, paths))
+    return _assemble(outcomes)
+
+
+def _check_unique_names(paths: Sequence[str]) -> None:
     names = set()
     for path in paths:
         spec = ScenarioSpec.load(path)
         if spec.name in names:
             raise ValueError(f"duplicate scenario name {spec.name!r} in inputs")
         names.add(spec.name)
-    document, reports = run_scenario_files(paths, jobs=jobs)
+
+
+def _emit(
+    document: Dict[str, Any], reports: List[str], json_path: str
+) -> Tuple[str, int]:
     output = "\n\n".join(reports)
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:
             handle.write(dump_artifact(document))
         output += f"\nwrote artifact: {json_path}"
     return output, 0
+
+
+def run_cli(
+    paths: Sequence[str], jobs: int = 1, json_path: str = ""
+) -> Tuple[str, int]:
+    """CLI body for ``repro run-scenario``; returns (output, exit code)."""
+    _check_unique_names(paths)
+    document, reports = run_scenario_files(paths, jobs=jobs)
+    return _emit(document, reports, json_path)
+
+
+def parse_kill(text: str) -> LinkKillSpec:
+    """Parse a ``--kill`` argument: ``LINK@AT_NS`` or ``LINK@AT_NS..RESTORE_NS``."""
+    link, sep, when = text.rpartition("@")
+    if not sep or not link:
+        raise ValueError(
+            f"bad --kill {text!r} (expected LINK@AT_NS or LINK@AT_NS..RESTORE_NS)"
+        )
+    restore: Optional[float] = None
+    if ".." in when:
+        at_text, _, restore_text = when.partition("..")
+        restore = float(restore_text)
+    else:
+        at_text = when
+    return LinkKillSpec(link=link, at_ns=float(at_text), restore_ns=restore)
+
+
+def build_fault_overlay(
+    drop: float = 0.0,
+    corrupt: float = 0.0,
+    switch_mode: str = "backpressure",
+    kills: Sequence[LinkKillSpec] = (),
+    timeout_ns: float = 50_000.0,
+    backoff: float = 2.0,
+    budget: int = 5,
+) -> FaultSpec:
+    """Assemble the ``run-chaos`` CLI flags into one :class:`FaultSpec`."""
+    links: Tuple[LinkFaultSpec, ...] = ()
+    if drop or corrupt:
+        links = (
+            LinkFaultSpec(
+                link="*", drop_probability=drop, corrupt_probability=corrupt
+            ),
+        )
+    return FaultSpec(
+        links=links,
+        kills=tuple(kills),
+        switch_drop_mode=switch_mode,
+        recovery=RecoverySpec(
+            timeout_ns=timeout_ns, backoff=backoff, max_retransmits=budget
+        ),
+    )
+
+
+def run_chaos_cli(
+    paths: Sequence[str],
+    faults: Optional[FaultSpec] = None,
+    jobs: int = 1,
+    json_path: str = "",
+) -> Tuple[str, int]:
+    """CLI body for ``repro run-chaos``; returns (output, exit code).
+
+    ``faults=None`` defers to each spec file's own ``faults`` section
+    (falling back to the zero-fault default with recovery armed).
+    """
+    _check_unique_names(paths)
+    document, reports = run_chaos_files(paths, faults=faults, jobs=jobs)
+    return _emit(document, reports, json_path)

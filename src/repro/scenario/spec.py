@@ -20,6 +20,7 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.driver.registry import NIC_KINDS
+from repro.faults.spec import FaultSpec
 from repro.workloads.traces import ClusterKind
 
 SPEC_SCHEMA = "netdimm-repro/scenario-spec"
@@ -156,6 +157,11 @@ class ScenarioSpec:
     nodes: Tuple[NodeSpec, ...] = ()
     fabric: FabricSpec = field(default_factory=FabricSpec)
     traffic: Tuple[TrafficSpec, ...] = ()
+    faults: Optional[FaultSpec] = None
+    """The fault model (:mod:`repro.faults`).  ``None`` — the default,
+    and what every pre-existing spec file parses to — means no fault
+    machinery is even constructed: the zero-fault event sequence is
+    byte-identical to a faultless build."""
 
     def __post_init__(self):
         if not self.name:
@@ -182,6 +188,12 @@ class ScenarioSpec:
                         raise ValueError(
                             f"locality_hosts references unknown node {endpoint!r}"
                         )
+        if self.faults is not None:
+            for stall in self.faults.stalls:
+                if stall.node not in known:
+                    raise ValueError(
+                        f"fault stall references unknown node {stall.node!r}"
+                    )
 
     def node(self, name: str) -> NodeSpec:
         """The node spec called ``name``."""
@@ -225,6 +237,8 @@ class ScenarioSpec:
             _from_mapping(TrafficSpec, traffic)
             for traffic in payload.get("traffic", ())
         )
+        if payload.get("faults") is not None:
+            payload["faults"] = FaultSpec.from_dict(payload["faults"])
         return cls(**payload)
 
     @classmethod

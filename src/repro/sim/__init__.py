@@ -25,7 +25,7 @@ reproducible.
 """
 
 from repro.sim.component import Component
-from repro.sim.engine import Future, Process, Simulator, SimulationError
+from repro.sim.engine import Future, Process, Simulator, SimulationError, Timer
 from repro.sim.resource import Pipe, Queue, Resource
 from repro.sim.stats import Histogram, StatRecorder
 
@@ -40,4 +40,5 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "StatRecorder",
+    "Timer",
 ]

@@ -224,6 +224,70 @@ class Future:
             self._callbacks = [callbacks, fn]
 
 
+class Timer:
+    """A cancellable scheduled callback (see :meth:`Simulator.call_later`).
+
+    The kernel's heap holds immutable entries, so cancellation never
+    performs heap surgery: the queued entry stays where it is and the
+    timer simply refuses to run its callback when it pops.  This keeps
+    the executed ``(time, seq)`` order — and therefore determinism —
+    identical whether or not anything was cancelled.  A cancelled entry
+    that is never reached (the run ends first) costs nothing at all.
+
+    Retransmission timeouts are the motivating user: the driver arms a
+    timer per transmission attempt and cancels it on delivery, so only
+    genuinely lost packets ever see the callback fire.
+    """
+
+    __slots__ = ("_fn", "_args", "_cancelled", "_fired")
+
+    def __init__(self, fn: Callable[..., None], args: tuple):
+        self._fn = fn
+        self._args = args
+        self._cancelled = False
+        self._fired = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` disarmed the timer before it fired."""
+        return self._cancelled
+
+    @property
+    def fired(self) -> bool:
+        """Whether the callback has already run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Still armed: neither fired nor cancelled."""
+        return not (self._fired or self._cancelled)
+
+    def cancel(self) -> bool:
+        """Disarm the timer; returns False if it already fired.
+
+        Cancelling an already-cancelled timer is a no-op returning True.
+        """
+        if self._fired:
+            return False
+        self._cancelled = True
+        self._fn = None
+        self._args = ()
+        return True
+
+    def _fire(self) -> None:
+        if self._cancelled:
+            return
+        self._fired = True
+        fn = self._fn
+        args = self._args
+        self._fn = None
+        self._args = ()
+        if args:
+            fn(*args)
+        else:
+            fn()
+
+
 class Process:
     """A generator-based cooperative process.
 
@@ -514,6 +578,18 @@ class Simulator:
         future = self.future()
         self.schedule(delay, future.set_result, value)
         return future
+
+    def call_later(self, delay: int, fn: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``fn(*args)`` after ``delay`` ticks, cancellably.
+
+        Returns a :class:`Timer` whose :meth:`Timer.cancel` prevents the
+        callback from ever running.  The queue entry itself is left in
+        place (popping a cancelled timer is a deterministic no-op), so
+        cancellation cannot perturb the event order of anything else.
+        """
+        timer = Timer(fn, args)
+        self.schedule(delay, timer._fire)
+        return timer
 
     def all_of(self, futures: Iterable[Future]) -> Future:
         """A future completing when every input has completed.

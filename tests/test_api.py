@@ -1,0 +1,124 @@
+"""The ``repro.api`` facade: five verbs, lazy top-level re-exports, and
+deprecation shims at every old convenience path."""
+
+import json
+
+import pytest
+
+import repro
+from repro import api
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return api.load_spec(
+        {
+            "name": "api-twonode",
+            "seed": 3,
+            "nodes": [
+                {"name": "tx", "nic_kind": "dnic"},
+                {"name": "rx", "nic_kind": "netdimm"},
+            ],
+            "fabric": {"kind": "direct"},
+            "traffic": [
+                {
+                    "kind": "oneway",
+                    "src": ["tx"],
+                    "dst": "rx",
+                    "packets": 4,
+                    "size_bytes": 256,
+                    "label": "oneway",
+                }
+            ],
+        }
+    )
+
+
+class TestFacadeVerbs:
+    def test_load_spec_from_mapping_and_file(self, spec, tmp_path):
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        assert api.load_spec(str(path)) == spec
+
+    def test_simulate_and_format_report(self, spec):
+        result = api.simulate(spec)
+        assert result.packets_delivered == 4
+        assert "scenario api-twonode" in api.format_report(result)
+
+    def test_simulate_with_fault_overlay(self, spec):
+        faults = api.FaultSpec(
+            links=(api.LinkFaultSpec(drop_probability=0.5),),
+            recovery=api.RecoverySpec(timeout_ns=20_000.0),
+        )
+        result = api.simulate(spec, faults=faults)
+        counters = result.recovery["oneway"]
+        assert counters["delivered"] + counters["lost"] == 4
+
+    def test_run_experiment_and_diff(self):
+        run = api.run_experiment(["table1"])
+        artifact = run.to_artifact()
+        assert "Table 1" in api.format_report(run)
+        diff = api.diff_artifacts(artifact, artifact)
+        assert not diff.has_regressions
+
+    def test_format_report_rejects_other_types(self):
+        with pytest.raises(TypeError, match="expected ScenarioResult"):
+            api.format_report({"not": "a result"})
+
+
+class TestTopLevelExports:
+    def test_lazy_api_attribute(self):
+        assert repro.api is api
+        assert repro.simulate is api.simulate
+        assert repro.load_spec is api.load_spec
+        assert repro.run_experiment is api.run_experiment
+        assert repro.diff_artifacts is api.diff_artifacts
+        assert repro.format_report is api.format_report
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.warp_drive
+
+
+class TestDeprecationShims:
+    def test_scenario_run_scenario_warns_and_works(self, spec):
+        import repro.scenario as scenario
+
+        with pytest.deprecated_call(match="repro.api.simulate"):
+            run_scenario = scenario.run_scenario
+        with pytest.deprecated_call(match="repro.api.simulate"):
+            result = run_scenario(spec)
+        assert result.to_dict() == api.simulate(spec).to_dict()
+
+    def test_scenario_apply_overrides_warns(self):
+        import repro.scenario as scenario
+
+        with pytest.deprecated_call(match="repro.params.apply_overrides"):
+            shim = scenario.apply_overrides
+        from repro.params import apply_overrides
+
+        assert shim is apply_overrides
+
+    def test_scenario_format_report_warns(self, spec):
+        import repro.scenario as scenario
+
+        with pytest.deprecated_call(match="repro.api.format_report"):
+            shim = scenario.format_report
+        assert "api-twonode" in shim(api.simulate(spec))
+
+    def test_experiments_run_experiments_warns(self):
+        import repro.experiments as experiments
+
+        with pytest.deprecated_call(match="repro.api.run_experiment"):
+            run_experiments = experiments.run_experiments
+        run = run_experiments(["table1"])
+        assert run.to_artifact()["experiments"]["table1"]["metrics"]
+
+    def test_experiments_load_artifact_warns(self, tmp_path):
+        import repro.experiments as experiments
+
+        path = tmp_path / "artifact.json"
+        path.write_text(json.dumps(api.run_experiment(["table1"]).to_artifact()))
+        with pytest.deprecated_call(match="repro.api.load_artifact"):
+            load_artifact = experiments.load_artifact
+        assert load_artifact(str(path))["experiments"]["table1"]["metrics"]

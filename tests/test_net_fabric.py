@@ -62,8 +62,8 @@ class TestSwitch:
         assert switch.hop_latency(64) == expected  # self-consistency
 
     def test_hop_latency_includes_switch_pipeline(self, sim):
-        fast = Switch(sim, "fast", NetworkParams(switch_latency=ns(25)))
-        slow = Switch(sim, "slow", NetworkParams(switch_latency=ns(200)))
+        fast = Switch(sim, "fast", params=NetworkParams(switch_latency=ns(25)))
+        slow = Switch(sim, "slow", params=NetworkParams(switch_latency=ns(200)))
         assert slow.hop_latency(64) - fast.hop_latency(64) == ns(175)
 
     def test_event_forward_matches_closed_form(self, sim):

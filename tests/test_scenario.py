@@ -11,20 +11,19 @@ from pathlib import Path
 
 import pytest
 
+from repro import api
 from repro.__main__ import main as cli_main
 from repro.driver.registry import NIC_KINDS, make_node
 from repro.experiments import fig12a
-from repro.params import DEFAULT
+from repro.params import DEFAULT, apply_overrides
 from repro.scenario import (
     FabricSpec,
     NodeSpec,
     SCENARIO_SCHEMA,
     ScenarioSpec,
     TrafficSpec,
-    apply_overrides,
     build_scenario,
     plan_traffic,
-    run_scenario,
 )
 from repro.scenario.builder import dump_artifact
 from repro.scenario.runner import run_scenario_files
@@ -32,7 +31,7 @@ from repro.sim import Simulator
 from repro.workloads.traces import ClusterKind
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
-SUMMARY_KEYS = {"count", "mean", "min", "p50", "p99", "max"}
+SUMMARY_KEYS = {"count", "mean", "min", "p50", "p99", "p999", "max"}
 
 
 def mixed_incast_spec(queue_depth=8, packets=15, size_bytes=1024,
@@ -141,7 +140,7 @@ class TestTrafficPlan:
 
 class TestScenarioRun:
     def test_mixed_incast_delivers_everything(self):
-        result = run_scenario(mixed_incast_spec())
+        result = api.simulate(mixed_incast_spec())
         assert result.packets_delivered == 4 * 15
         for stats in result.pairs.values():
             assert set(stats) == SUMMARY_KEYS
@@ -151,18 +150,18 @@ class TestScenarioRun:
 
     def test_rebuild_is_byte_identical(self):
         spec = mixed_incast_spec()
-        first = run_scenario(spec).to_dict()
-        second = run_scenario(ScenarioSpec.from_dict(spec.to_dict())).to_dict()
+        first = api.simulate(spec).to_dict()
+        second = api.simulate(ScenarioSpec.from_dict(spec.to_dict())).to_dict()
         assert json.dumps(first, sort_keys=True) == json.dumps(
             second, sort_keys=True
         )
 
     def test_shallow_queue_backpressures(self):
-        calm = run_scenario(
+        calm = api.simulate(
             mixed_incast_spec(queue_depth=16, size_bytes=1514,
                               mean_interarrival_ns=500.0)
         )
-        squeezed = run_scenario(
+        squeezed = api.simulate(
             mixed_incast_spec(queue_depth=1, size_bytes=1514,
                               mean_interarrival_ns=500.0)
         )
@@ -216,7 +215,7 @@ class TestRunnerAndCli:
         assert "scenario incast-mixed" in out
         document = json.loads(artifact_path.read_text())
         assert document["schema"] == SCENARIO_SCHEMA
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == 2
         entry = document["scenarios"]["incast-mixed"]
         assert entry["spec"]["fabric"]["kind"] == "clos"
         pairs = entry["result"]["pairs"]
