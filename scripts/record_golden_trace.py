@@ -1,0 +1,35 @@
+"""Regenerate the golden Chrome-trace fixture in ``tests/data/``.
+
+Only run this after an *intentional* change to the span-tracer
+instrumentation (new spans, renamed segments, changed nesting): the
+fixture pins the byte-exact Chrome-trace export of the two-node
+NetDIMM oneway scenario, and ``tests/test_telemetry.py`` compares
+against it byte for byte.
+
+Usage::
+
+    PYTHONPATH=src python scripts/record_golden_trace.py
+"""
+
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+GOLDEN_PATH = REPO_ROOT / "tests" / "data" / "golden_trace_netdimm_oneway.json"
+
+
+def main() -> int:
+    from repro import api
+
+    spec = api.ScenarioSpec.two_node("netdimm", 256)
+    _result, document = api.trace_scenario(spec)
+    GOLDEN_PATH.write_text(api.dump_trace(document), encoding="utf-8")
+    events = document["traceEvents"]
+    print(f"wrote {GOLDEN_PATH} ({len(events)} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

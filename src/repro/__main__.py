@@ -14,13 +14,18 @@ Commands
     List available experiments with one-line descriptions.
 ``oneway --nic KIND --size BYTES``
     Measure a single one-way packet transfer and print its breakdown.
+``trace SPEC.json [--out FILE]``
+    Run one scenario with the per-packet span tracer on and export a
+    Chrome-trace/Perfetto JSON timeline (see ``docs/observability.md``).
 ``trace --cluster KIND --count N [--out FILE]``
-    Generate a synthetic Facebook-cluster trace (CSV to stdout or FILE).
-``run-scenario SPEC.json [SPEC.json ...] [--jobs N] [--json PATH]``
+    Without a spec file: generate a synthetic Facebook-cluster trace
+    (CSV to stdout or FILE).
+``run-scenario SPEC.json [SPEC.json ...] [--jobs N] [--json PATH] [--trace PATH]``
     Build and run declarative scenarios (see ``examples/*.json``): the
     whole cluster in one simulator, packets live-traversing the fabric,
     per-flow latency percentiles printed and optionally written as a
-    versioned artifact.
+    versioned artifact.  ``--trace`` additionally writes the merged
+    Chrome-trace timeline of every scenario.
 ``run-chaos SPEC.json [...] [--drop P] [--corrupt P] [--kill LINK@NS]
 [--switch-mode MODE] [--timeout-ns T] [--backoff B] [--budget N]``
     The fault-injecting twin of ``run-scenario``: every spec runs under
@@ -79,7 +84,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "--size", type=api.positive_int, default=256, metavar="BYTES"
     )
 
-    trace = commands.add_parser("trace", help="generate a synthetic trace")
+    trace = commands.add_parser(
+        "trace",
+        help="span-trace a scenario spec (or generate a synthetic trace)",
+    )
+    trace.add_argument(
+        "spec",
+        nargs="?",
+        default=None,
+        metavar="SPEC",
+        help="scenario spec JSON file to span-trace "
+        "(omit for synthetic-trace mode)",
+    )
     trace.add_argument(
         "--cluster",
         choices=[cluster.value for cluster in api.ClusterKind],
@@ -105,6 +121,13 @@ def _build_parser() -> argparse.ArgumentParser:
             dest="json_path",
             metavar="PATH",
             help="write the versioned scenario artifact to PATH",
+        )
+        subparser.add_argument(
+            "--trace",
+            dest="trace_path",
+            metavar="PATH",
+            help="span-trace every scenario and write the merged "
+            "Chrome-trace JSON to PATH",
         )
 
     scenario = commands.add_parser(
@@ -198,6 +221,18 @@ def _cmd_trace(cluster: str, count: int, seed: int, out: str) -> str:
     return f"wrote {written} packets to {out}"
 
 
+def _cmd_trace_spec(spec_path: str, out: str) -> str:
+    """Span-trace one scenario spec and export the Chrome-trace JSON."""
+    spec = api.load_spec(spec_path)
+    result, trace_document = api.trace_scenario(spec)
+    rendered = api.dump_trace(trace_document)
+    if out == "-":
+        return rendered.rstrip("\n")
+    with open(out, "w", encoding="utf-8") as handle:
+        handle.write(rendered)
+    return api.format_report(result) + f"\nwrote trace: {out}"
+
+
 def _cmd_targets() -> str:
     lines = [f"{'target':<40}{'paper':>9}{'band':>18}"]
     for target in api.PAPER_TARGETS.values():
@@ -249,11 +284,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "oneway":
         output = _cmd_oneway(args.nic, args.size)
     elif args.command == "trace":
-        output = _cmd_trace(args.cluster, args.count, args.seed, args.out)
+        if args.spec is not None:
+            try:
+                output = _cmd_trace_spec(args.spec, args.out)
+            except (OSError, ValueError) as error:
+                print(f"error: {error}", file=sys.stderr)
+                return 2
+        else:
+            output = _cmd_trace(args.cluster, args.count, args.seed, args.out)
     elif args.command == "run-scenario":
         try:
             output, exit_code = api.run_scenario_cli(
-                args.specs, jobs=args.jobs, json_path=args.json_path or ""
+                args.specs,
+                jobs=args.jobs,
+                json_path=args.json_path or "",
+                trace_path=args.trace_path or "",
             )
         except (OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
@@ -265,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 faults=_chaos_overlay(args),
                 jobs=args.jobs,
                 json_path=args.json_path or "",
+                trace_path=args.trace_path or "",
             )
         except (OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)

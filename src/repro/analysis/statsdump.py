@@ -97,6 +97,11 @@ def format_profile(counts: Dict[str, int], top: int = 0) -> str:
     count, heaviest first; ``top`` truncates to the N heaviest owners
     (0 = all).  To fold a profile into a component's stats instead, use
     :meth:`repro.sim.stats.StatRecorder.count_many`.
+
+    A profile says *which code* fired events; to see *where one
+    packet's time went*, use the span tracer instead
+    (``repro.api.trace_scenario`` / ``python -m repro trace SPEC``)
+    and open the exported timeline in Perfetto.
     """
     total = sum(counts.values())
     rows = sorted(counts.items(), key=lambda item: (-item[1], item[0]))

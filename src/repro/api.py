@@ -23,6 +23,22 @@ Everything a user (or the CLI) does goes through five verbs::
 * :func:`format_report` — the human-readable report for either result
   kind.
 
+A sixth verb, :func:`trace_scenario`, is :func:`simulate` with the
+per-packet span tracer attached: it returns the result *and* a
+Chrome-trace/Perfetto JSON document of every packet's timeline (see
+``docs/observability.md``)::
+
+    result, trace = api.trace_scenario(spec)
+    open("trace.json", "w").write(api.dump_trace(trace))
+
+A miniature you can run right here (two NetDIMM nodes on a direct
+wire, one measured packet):
+
+>>> from repro import api
+>>> spec = api.ScenarioSpec.two_node("netdimm", 256)
+>>> api.simulate(spec).packets_delivered
+1
+
 The deeper modules remain importable (this facade is a thin veneer, not
 a wall), but the old convenience entry points
 (``repro.scenario.run_scenario`` and friends) now emit
@@ -76,19 +92,33 @@ from repro.scenario.runner import (
     run_chaos_cli,
     run_chaos_files,
     run_scenario_files,
+    run_traced,
 )
 from repro.scenario.runner import run_cli as run_scenario_cli
 from repro.scenario.spec import FabricSpec, NodeSpec, ScenarioSpec, TrafficSpec
+from repro.telemetry import (
+    SpanTracer,
+    chrome_trace,
+    dump_trace,
+    segment_totals,
+)
 from repro.workloads.trace_io import save_trace
 from repro.workloads.traces import ClusterKind, TraceGenerator
 
 __all__ = [
-    # the five facade verbs
+    # the facade verbs
     "load_spec",
     "simulate",
+    "trace_scenario",
     "run_experiment",
     "diff_artifacts",
     "format_report",
+    # telemetry
+    "SpanTracer",
+    "chrome_trace",
+    "dump_trace",
+    "run_traced",
+    "segment_totals",
     # scenario toolkit
     "FabricSpec",
     "NodeSpec",
@@ -160,6 +190,28 @@ def simulate(
 
         spec = replace(spec, faults=faults)
     return build_scenario(spec, base_params=base_params).run()
+
+
+def trace_scenario(
+    spec: ScenarioSpec,
+    base_params: Optional[SystemParams] = None,
+    faults: Optional[FaultSpec] = None,
+):
+    """:func:`simulate` with the span tracer on.
+
+    Returns ``(result, trace_document)`` where ``trace_document`` is a
+    Chrome-trace/Perfetto JSON document of every measured packet's
+    per-hop timeline (serialize it with :func:`dump_trace`).  The
+    simulation's event stream — and therefore the result — is identical
+    to an untraced :func:`simulate` of the same spec.
+    """
+    if faults is not None:
+        from dataclasses import replace
+
+        spec = replace(spec, faults=faults)
+    tracer = SpanTracer()
+    result = build_scenario(spec, base_params=base_params, tracer=tracer).run()
+    return result, chrome_trace([(spec.name, tracer.to_payload())])
 
 
 def run_experiment(

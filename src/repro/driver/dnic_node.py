@@ -136,7 +136,7 @@ class DiscreteNICNode(ServerNode):
         # R4 @driver: the polling agent (or IRQ) notices the status
         # writeback; the descriptor returns to the NIC (tail update over
         # PCIe).
-        yield self.rx_notification_delay(nic.host_poll_read)
+        yield from self.rx_notification_gate(packet, nic.host_poll_read)
         self.rx_ring.consume()
         yield from self.regs.write("rx_tail", index)
         watch.lap("ioreg")

@@ -148,7 +148,7 @@ class IntegratedNICNode(ServerNode):
 
         # Polling (or IRQ): the status word is an LLC hit; the tail
         # update is an on-die register write.
-        yield self.rx_notification_delay(nic.host_poll_read)
+        yield from self.rx_notification_gate(packet, nic.host_poll_read)
         self.rx_ring.consume()
         yield from self.regs.write("rx_tail", index)
         watch.lap("ioreg")

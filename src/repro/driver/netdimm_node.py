@@ -223,10 +223,14 @@ class NetDIMMNode(ServerNode):
         # much cheaper than a PCIe register read — plus loop overhead.
         # (In interrupt mode the moderation/delivery delay replaces the
         # poll; the descriptor read still happens inside the handler.)
+        notify_start = self.now
         if software.rx_notification == "interrupt":
             yield software.interrupt_moderation // 2 + software.interrupt_overhead
         else:
             yield software.poll_iteration // 2
+        tracer = self.sim.tracer if packet.uid is not None else None
+        if tracer is not None:
+            tracer.add(packet.uid, "rxNotify", "notify", notify_start, self.now)
         yield self.port.read(desc_address, CACHELINE)
         watch.lap("ioreg")
 
@@ -245,8 +249,16 @@ class NetDIMMNode(ServerNode):
         packet.app_address = app_page
         mode = self.device.clone_mode(app_page, dma_buffer)
         self.stats.count(f"rx_clone_{mode.value}")
+        clone_start = self.now
         yield netdimm.clone_register_write
         yield self.device.clone(app_page, dma_buffer, packet.size_bytes)
+        if tracer is not None:
+            # The in-memory buffer clone (RowClone FPM/PSM/GCM) as a
+            # child span inside the rxCopy segment.
+            tracer.add(
+                packet.uid, "clone", "device", clone_start, self.now,
+                {"mode": mode.value},
+            )
         yield self.port.read(app_page, CACHELINE)
         watch.lap("rxCopy")
 

@@ -73,20 +73,32 @@ class FlowRecovery:
 
 
 class Stopwatch:
-    """Charges wall-clock (simulated) time between laps to segments."""
+    """Charges wall-clock (simulated) time between laps to segments.
 
-    __slots__ = ("sim", "packet", "_mark")
+    When the simulator carries a span tracer and the packet has a flow
+    ``uid``, every lap also closes a ``segment`` span over the same
+    interval — one instrumentation point covering the breakdown
+    segments of all five NIC kinds.  Recording only reads timestamps,
+    so the event stream is identical with tracing on or off.
+    """
+
+    __slots__ = ("sim", "packet", "_mark", "_tracer")
 
     def __init__(self, sim: Simulator, packet: Packet):
         self.sim = sim
         self.packet = packet
         self._mark = sim.now
+        tracer = sim.tracer
+        self._tracer = tracer if packet.uid is not None else None
 
     def lap(self, segment: str) -> int:
         """Charge time since the last lap to ``segment``; returns it."""
-        elapsed = self.sim.now - self._mark
+        now = self.sim.now
+        elapsed = now - self._mark
         self.packet.breakdown.add(segment, elapsed)
-        self._mark = self.sim.now
+        if self._tracer is not None:
+            self._tracer.add(self.packet.uid, segment, "segment", self._mark, now)
+        self._mark = now
         return elapsed
 
 
@@ -162,7 +174,9 @@ class ServerNode(Component):
         ``transit`` protocol).
         """
         timeout = int(ns(recovery.timeout_ns))
+        tracer = self.sim.tracer if packet.uid is not None else None
         while True:
+            attempt_start = self.now
             verdict = self.sim.future()
             timer = self.sim.call_later(timeout, _complete_timeout, verdict)
             self.sim.spawn(
@@ -170,6 +184,17 @@ class ServerNode(Component):
                 name=f"{self.name}.attempt",
             )
             outcome = yield verdict
+            if tracer is not None:
+                # Child span per attempt: nested inside the flow span,
+                # containing that attempt's segment/wire/switch spans.
+                tracer.add(
+                    packet.uid,
+                    f"attempt {packet.attempt}",
+                    "recovery",
+                    attempt_start,
+                    self.now,
+                    {"outcome": outcome},
+                )
             if outcome == "delivered":
                 counters.delivered += 1
                 return True
@@ -179,6 +204,10 @@ class ServerNode(Component):
                 return False
             packet.attempt += 1
             counters.retransmits += 1
+            if tracer is not None:
+                tracer.counter(
+                    f"{self.name}.retransmits", self.now, counters.retransmits
+                )
             timeout = int(timeout * recovery.backoff)
 
     def _attempt_body(
@@ -227,6 +256,20 @@ class ServerNode(Component):
         if software.rx_notification == "interrupt":
             return software.interrupt_moderation // 2 + software.interrupt_overhead
         return detection_cost(probe_cost, software.poll_iteration)
+
+    def rx_notification_gate(self, packet: Packet, probe_cost: int):
+        """Wait out :meth:`rx_notification_delay` (``yield from`` this).
+
+        Span-traced form of ``yield self.rx_notification_delay(...)``:
+        the same single sleep event, plus — when a tracer is attached
+        and the packet is a measured one — an ``rxNotify`` child span
+        inside the enclosing ``ioreg`` segment.
+        """
+        start = self.now
+        yield self.rx_notification_delay(probe_cost)
+        tracer = self.sim.tracer
+        if tracer is not None and packet.uid is not None:
+            tracer.add(packet.uid, "rxNotify", "notify", start, self.now)
 
     def copy_cost(self, size_bytes: int) -> int:
         """CPU memcpy cost for ``size_bytes``.

@@ -41,6 +41,7 @@ from repro.experiments.oneway import measure_one_way
 from repro.experiments.runner import EXPERIMENTS, normalize_names
 from repro.net.topology import ClosTopology
 from repro.params import DEFAULT
+from repro.scenario.builder import SCENARIO_SCHEMA, SCENARIO_SCHEMA_VERSION
 from repro.sim import engine
 from repro.units import ns
 from repro.workloads.traces import TraceGenerator
@@ -437,7 +438,16 @@ def run_experiments(
 
 
 def load_artifact(path: str) -> Dict[str, Any]:
-    """Load and validate an artifact file written by :class:`HarnessRun`."""
+    """Load and validate an artifact file.
+
+    Accepts both artifact kinds the toolkit writes: the experiment
+    artifact (:class:`HarnessRun`, schema v1) and the scenario artifact
+    (``run-scenario``/``run-chaos`` ``--json``, schema v2–v3).  Either
+    can be handed to :func:`diff_artifacts` — scenario artifacts are
+    viewed through :func:`_experiment_view` so per-flow and (v3)
+    per-segment metrics diff the same way experiment metrics do.  See
+    ``docs/artifacts.md`` for the schema histories.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             artifact = json.load(handle)
@@ -445,7 +455,17 @@ def load_artifact(path: str) -> Dict[str, Any]:
         raise ValueError(f"{path}: cannot read artifact ({error.strerror})") from error
     except json.JSONDecodeError as error:
         raise ValueError(f"{path}: not valid JSON ({error})") from error
-    if not isinstance(artifact, dict) or artifact.get("schema") != SCHEMA:
+    schema = artifact.get("schema") if isinstance(artifact, dict) else None
+    if schema == SCENARIO_SCHEMA:
+        version = artifact.get("schema_version")
+        if not isinstance(version, int) or not 2 <= version <= SCENARIO_SCHEMA_VERSION:
+            raise ValueError(
+                f"{path}: artifact schema_version {version!r} unsupported "
+                f"(this build reads {SCENARIO_SCHEMA} versions "
+                f"2..{SCENARIO_SCHEMA_VERSION})"
+            )
+        return artifact
+    if schema != SCHEMA:
         raise ValueError(f"{path}: not a {SCHEMA} artifact")
     version = artifact.get("schema_version")
     if version != SCHEMA_VERSION:
@@ -486,6 +506,34 @@ def _target_ok(name: str, value: float) -> Optional[bool]:
     return target.check(value)
 
 
+def _experiment_view(artifact: Dict[str, Any]) -> Dict[str, Any]:
+    """A scenario artifact viewed through the experiment-diff lens.
+
+    Each scenario becomes one "experiment" whose metrics are the
+    per-flow latency summaries plus (schema v3) the per-segment means
+    — so when a scenario's latency regresses, the diff names the path
+    segment (``scenario.<name>.segment.<seg>.mean_us``) that moved.
+    Experiment artifacts pass through unchanged.
+    """
+    if artifact.get("schema") != SCENARIO_SCHEMA:
+        return artifact
+    experiments: Dict[str, Any] = {}
+    for name, entry in artifact.get("scenarios", {}).items():
+        result = entry.get("result", {})
+        metrics: Dict[str, float] = {}
+        for label, stats in sorted(result.get("flows", {}).items()):
+            for key in ("mean", "p50", "p99", "p999"):
+                if key in stats:
+                    metrics[f"scenario.{name}.{label}.{key}_us"] = stats[key]
+        for segment, stats in sorted(result.get("segment_latency", {}).items()):
+            if "mean" in stats:
+                metrics[f"scenario.{name}.segment.{segment}.mean_us"] = stats[
+                    "mean"
+                ]
+        experiments[name] = {"result": result, "metrics": metrics}
+    return {"experiments": experiments, "timing": {}}
+
+
 def diff_artifacts(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
@@ -498,7 +546,14 @@ def diff_artifacts(
     baseline but fails it now; or a metric drifting more than
     ``tolerance`` (relative) while its band check worsens.  Pure drift
     within bands and result-dict changes are reported as notes.
+
+    Scenario artifacts are accepted on either side (converted via
+    :func:`_experiment_view`), so ``diff_artifacts(load_artifact(a),
+    load_artifact(b))`` localizes a scenario regression down to the
+    breakdown segment whose mean moved.
     """
+    current = _experiment_view(current)
+    baseline = _experiment_view(baseline)
     diff = ArtifactDiff()
     current_experiments = current.get("experiments", {})
     baseline_experiments = baseline.get("experiments", {})

@@ -92,6 +92,9 @@ class DirectFabric(Component):
         # The wire is full duplex: each direction has its own bus.
         yield self.wire.transmit(packet.size_bytes, reverse=src == self.hosts[1])
         packet.breakdown.add("wire", self.now - start)
+        tracer = self.sim.tracer
+        if tracer is not None and packet.uid is not None:
+            tracer.add(packet.uid, "wire", "net", start, self.now)
         if self.injector is not None:
             if self.injector.link_verdict(f"{src}->{dst}", self.now, packet) != OK:
                 return False
@@ -185,6 +188,7 @@ class ClosFabric(Component):
         path = self.route(src, dst, packet.flow_id)
         tiers = self.topology.graph.nodes
         injector = self.injector
+        tracer = self.sim.tracer if packet.uid is not None else None
         delivered = True
         # Sender NIC: MAC/PHY, then the host uplink serializes departures.
         yield self.params.mac_phy_latency
@@ -198,7 +202,10 @@ class ClosFabric(Component):
             # Each switch: pipeline + contended finite-depth egress + cable.
             for node, next_hop in zip(path[1:-1], path[2:]):
                 forwarded = yield from self.switches[node].forward_transit(
-                    packet.size_bytes, egress_port=next_hop
+                    packet.size_bytes,
+                    egress_port=next_hop,
+                    tracer=tracer,
+                    uid=packet.uid,
                 )
                 if forwarded is False:
                     # Lossy-mode output-queue overflow at this switch.
@@ -223,6 +230,10 @@ class ClosFabric(Component):
             yield self.params.mac_phy_latency
         elapsed = self.now - start
         packet.breakdown.add("wire", elapsed)
+        if tracer is not None:
+            # The end-to-end wire span; per-switch queue/transmit spans
+            # nest inside it (emitted by forward_transit above).
+            tracer.add(packet.uid, "wire", "net", start, self.now)
         if delivered:
             self.stats.count("packets")
             self.stats.count("bytes", packet.size_bytes)

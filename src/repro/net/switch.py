@@ -83,7 +83,9 @@ class Switch(Component):
         )
         return done
 
-    def forward_transit(self, size_bytes: int, egress_port: str):
+    def forward_transit(
+        self, size_bytes: int, egress_port: str, tracer=None, uid=None
+    ):
         """Inline (``yield from``) form of :meth:`forward`.
 
         Same event sequence without spawning a process per hop — the
@@ -91,6 +93,13 @@ class Switch(Component):
         Returns True when the frame was forwarded; False when a full
         output queue in ``lossy`` drop mode ate it (cut-through: the
         overflow is decided at ingress, before any time is charged).
+
+        ``tracer``/``uid`` (a :class:`repro.telemetry.SpanTracer` and
+        the packet's flow uid) split the hop into two spans: the queue
+        wait on a full output queue (omitted when zero) and the
+        transmit (pipeline + egress serialization + propagation).
+        Tracing only records timestamps — the event order is identical
+        with it on or off.
         """
         start = self.now
         if self.queue_depth is not None:
@@ -101,6 +110,9 @@ class Switch(Component):
                 self._take_slot(egress_port)
             else:
                 yield from self._claim_slot(egress_port)
+        if tracer is not None and self.now > start:
+            tracer.add(uid, f"{self.name} queue", "switch", start, self.now)
+        xmit_start = self.now
         yield self.params.switch_latency
         serialization = transfer_time(
             self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
@@ -111,6 +123,8 @@ class Switch(Component):
         yield self.params.propagation
         self.stats.count("forwarded")
         self.stats.sample("hop_ns", (self.now - start) / 1000)
+        if tracer is not None:
+            tracer.add(uid, self.name, "switch", xmit_start, self.now)
         return True
 
     def _forward_body(self, size_bytes: int, egress_port: str, done: Future):
@@ -124,12 +138,22 @@ class Switch(Component):
         held = self._occupancy.get(port, 0) + 1
         self._occupancy[port] = held
         self.stats.sample("queue_depth", held)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(f"{self.name}.{port}.queue_depth", self.sim.now, held)
 
     def _claim_slot(self, port: str):
         """Take one output-queue slot on ``port``, stalling while full."""
         occupancy = self._occupancy
         while occupancy.get(port, 0) >= self.queue_depth:
             self.stats.count("egress_stalls")
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.counter(
+                    f"{self.name}.{port}.egress_stalls",
+                    self.sim.now,
+                    self.stats.get_counter("egress_stalls"),
+                )
             waiter = self.sim.future()
             self._slot_waiters.setdefault(port, deque()).append(waiter)
             yield waiter
@@ -137,7 +161,11 @@ class Switch(Component):
 
     def _release_slot(self, port: str) -> None:
         """Free one slot and wake the oldest stalled ingress, if any."""
-        self._occupancy[port] -= 1
+        held = self._occupancy[port] - 1
+        self._occupancy[port] = held
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(f"{self.name}.{port}.queue_depth", self.sim.now, held)
         waiters = self._slot_waiters.get(port)
         if waiters:
             waiters.popleft().set_result(None)

@@ -46,10 +46,14 @@ __all__ = [
 ]
 
 SCENARIO_SCHEMA = "netdimm-repro/scenario-artifact"
-SCENARIO_SCHEMA_VERSION = 2
-"""v2 adds loss accounting: per-flow-group ``recovery`` counters, a
+SCENARIO_SCHEMA_VERSION = 3
+"""v2 added loss accounting: per-flow-group ``recovery`` counters, a
 top-level ``packets_lost``, fault counters in ``fabric``, and ``p999``
-in every latency summary."""
+in every latency summary.  v3 adds ``segment_latency``: a per-segment
+latency summary (same key set as the flow summaries) over foreground
+packets, so ``diff_artifacts`` can localize a latency regression to
+the path segment that moved.  See ``docs/artifacts.md`` for the full
+schema history and compatibility rules."""
 
 
 @dataclass(frozen=True)
@@ -78,6 +82,11 @@ class ScenarioResult:
     segments_us: Dict[str, float]
     """Mean per-packet breakdown segment (foreground packets), in us."""
 
+    segment_latency: Dict[str, Dict[str, float]]
+    """Segment → latency summary (count/mean/min/p50/p99/p999/max, us)
+    over foreground packets — the distribution behind ``segments_us``,
+    added in schema v3 so regressions localize to a segment."""
+
     fabric: Dict[str, int]
     """Fabric-wide counters: switch forwards, backpressure stalls, and
     (v2) injected link drops/corruptions and lossy overflow drops."""
@@ -90,7 +99,7 @@ class ScenarioResult:
     retransmits/timeouts).  Empty when the scenario injected no faults."""
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe rendering (scenario-artifact schema v2)."""
+        """JSON-safe rendering (scenario-artifact schema v3)."""
         return {
             "name": self.name,
             "packets_delivered": self.packets_delivered,
@@ -100,6 +109,10 @@ class ScenarioResult:
             "flows": {label: dict(stats) for label, stats in self.flows.items()},
             "pairs": {label: dict(stats) for label, stats in self.pairs.items()},
             "segments_us": dict(self.segments_us),
+            "segment_latency": {
+                segment: dict(stats)
+                for segment, stats in self.segment_latency.items()
+            },
             "fabric": dict(self.fabric),
             "recovery": {
                 label: dict(stats) for label, stats in self.recovery.items()
@@ -107,11 +120,17 @@ class ScenarioResult:
         }
 
     def metrics(self) -> Dict[str, float]:
-        """Scalar metrics, one namespace per flow group."""
+        """Scalar metrics: one namespace per flow group, plus the mean
+        of every breakdown segment (``...segment.<name>.mean_us``) so
+        artifact diffs name the segment a regression lives in."""
         metrics: Dict[str, float] = {}
         for label, stats in sorted(self.flows.items()):
             for key in ("mean", "p50", "p99", "p999"):
                 metrics[f"scenario.{self.name}.{label}.{key}_us"] = stats[key]
+        for segment, stats in sorted(self.segment_latency.items()):
+            metrics[f"scenario.{self.name}.segment.{segment}.mean_us"] = stats[
+                "mean"
+            ]
         return metrics
 
 
@@ -153,7 +172,10 @@ class Scenario:
     """A built (but not yet run) cluster: nodes + fabric + traffic plan."""
 
     def __init__(
-        self, spec: ScenarioSpec, base_params: Optional[SystemParams] = None
+        self,
+        spec: ScenarioSpec,
+        base_params: Optional[SystemParams] = None,
+        tracer=None,
     ):
         self.spec = spec
         params = base_params or DEFAULT
@@ -163,6 +185,11 @@ class Scenario:
             )
         self.params = params
         self.sim = Simulator()
+        self.tracer = tracer
+        """Optional :class:`repro.telemetry.SpanTracer`.  Attached to the
+        simulator so every instrumented component sees it; ``None`` (the
+        default) keeps tracing entirely out of the hot path."""
+        self.sim.tracer = tracer
         self.injector = (
             FaultInjector(spec.faults, spec.seed)
             if spec.faults is not None
@@ -279,15 +306,24 @@ class Scenario:
                 )
                 self.sim.run_until(process.done, max_events=max_events)
 
-    def _measured_flow(self, flow: FlowPacket):
+    def _measured_flow(self, flow: FlowPacket, uid: int):
         packet = Packet(
             size_bytes=flow.size_bytes,
             src=flow.src,
             dst=flow.dst,
             flow_id=flow.flow_id,
+            uid=uid,
         )
+        tracer = self.tracer
+        label = f"{flow.group}/{flow.src}->{flow.dst}"
+        if tracer is not None:
+            tracer.track(uid, f"{label} #{uid}")
         start = self.sim.now
         yield from self._flow_steps(flow, packet)
+        if tracer is not None:
+            # The flow root span: every segment/wire/notify span of this
+            # packet nests inside it by time containment.
+            tracer.add(uid, label, "flow", start, self.sim.now)
         self.delivered.append(
             DeliveredPacket(
                 plan=flow, latency_ticks=self.sim.now - start, packet=packet
@@ -319,6 +355,10 @@ class Scenario:
         def transit(pkt: Packet):
             return fabric.transit(pkt, src_host, dst_host)
 
+        tracer = self.tracer
+        label = f"{flow.group}/{flow.src}->{flow.dst}"
+        if tracer is not None:
+            tracer.track(uid, f"{label} #{uid}")
         start = self.sim.now
         arrived = yield from self.nodes[flow.src].send_reliably(
             packet,
@@ -327,6 +367,13 @@ class Scenario:
             self.spec.faults.recovery,
             counters,
         )
+        if tracer is not None:
+            # Root span over every retransmission attempt; lost packets
+            # carry the verdict so the timeline shows abandonments.
+            tracer.add(
+                uid, label, "flow", start, self.sim.now,
+                None if arrived else {"lost": True},
+            )
         if arrived:
             self.delivered.append(
                 DeliveredPacket(
@@ -341,7 +388,7 @@ class Scenario:
 
     def _launch(self, flow: FlowPacket, uid: int) -> None:
         if self.injector is None:
-            body = self._measured_flow(flow)
+            body = self._measured_flow(flow, uid)
         else:
             body = self._measured_flow_reliable(flow, uid)
         self.sim.spawn(body, name=f"flow.{flow.group}")
@@ -369,6 +416,7 @@ class Scenario:
     def _summarize(self) -> ScenarioResult:
         flow_hist: Dict[str, Histogram] = {}
         pair_hist: Dict[str, Histogram] = {}
+        segment_hist: Dict[str, Histogram] = {}
         segment_totals: Dict[str, int] = {}
         foreground = 0
         for delivery in self.delivered:
@@ -387,6 +435,9 @@ class Scenario:
                     segment_totals[segment] = (
                         segment_totals.get(segment, 0) + ticks
                     )
+                    segment_hist.setdefault(
+                        segment, Histogram(segment)
+                    ).record(ticks / 1e6)
         segments_us = {
             segment: total / foreground / 1e6
             for segment, total in sorted(segment_totals.items())
@@ -425,6 +476,10 @@ class Scenario:
                 for label, histogram in sorted(pair_hist.items())
             },
             segments_us=segments_us,
+            segment_latency={
+                segment: _latency_summary(histogram)
+                for segment, histogram in sorted(segment_hist.items())
+            },
             fabric=fabric_stats,
             packets_lost=len(self.lost),
             recovery={
@@ -444,10 +499,18 @@ def _latency_summary(histogram: Histogram) -> Dict[str, float]:
 
 
 def build_scenario(
-    spec: ScenarioSpec, base_params: Optional[SystemParams] = None
+    spec: ScenarioSpec,
+    base_params: Optional[SystemParams] = None,
+    tracer=None,
 ) -> Scenario:
-    """Instantiate the whole cluster described by ``spec``."""
-    return Scenario(spec, base_params=base_params)
+    """Instantiate the whole cluster described by ``spec``.
+
+    Pass a :class:`repro.telemetry.SpanTracer` as ``tracer`` to collect
+    per-packet spans and counters while the scenario runs; the default
+    ``None`` leaves the simulation entirely un-instrumented (the event
+    stream is byte-identical either way).
+    """
+    return Scenario(spec, base_params=base_params, tracer=tracer)
 
 
 def run_scenario(

@@ -30,23 +30,30 @@ from repro.scenario.builder import (
     format_report,
 )
 from repro.scenario.spec import ScenarioSpec
+from repro.telemetry import SpanTracer, chrome_trace, dump_trace
 
 
-def run_spec_file(path: str) -> Tuple[Dict[str, Any], Dict[str, Any], str]:
-    """Worker entry point: one spec file → (spec, result, report) dicts.
+def run_spec_file(
+    path: str, trace: bool = False
+) -> Tuple[Dict[str, Any], Dict[str, Any], str, Optional[Dict[str, Any]]]:
+    """Worker entry point: one spec file → (spec, result, report, trace).
 
     Module-level (picklable) so a process pool can run it; returns only
     JSON-safe payloads so results cross process boundaries unchanged.
+    The fourth element is the span-tracer payload when ``trace`` is on,
+    else ``None``.
     """
     spec = ScenarioSpec.load(path)
-    scenario = build_scenario(spec)
+    tracer = SpanTracer() if trace else None
+    scenario = build_scenario(spec, tracer=tracer)
     result = scenario.run()
-    return spec.to_dict(), result.to_dict(), format_report(result)
+    payload = tracer.to_payload() if tracer is not None else None
+    return spec.to_dict(), result.to_dict(), format_report(result), payload
 
 
 def run_chaos_file(
-    path: str, faults: Optional[FaultSpec] = None
-) -> Tuple[Dict[str, Any], Dict[str, Any], str]:
+    path: str, faults: Optional[FaultSpec] = None, trace: bool = False
+) -> Tuple[Dict[str, Any], Dict[str, Any], str, Optional[Dict[str, Any]]]:
     """Worker entry point for chaos runs: one spec file under faults.
 
     ``faults`` (when given) replaces the spec file's own ``faults``
@@ -59,22 +66,43 @@ def run_chaos_file(
         spec = replace(spec, faults=faults)
     elif spec.faults is None:
         spec = replace(spec, faults=FaultSpec())
-    scenario = build_scenario(spec)
+    tracer = SpanTracer() if trace else None
+    scenario = build_scenario(spec, tracer=tracer)
     result = scenario.run()
-    return spec.to_dict(), result.to_dict(), format_report(result)
+    payload = tracer.to_payload() if tracer is not None else None
+    return spec.to_dict(), result.to_dict(), format_report(result), payload
 
 
-def _assemble(outcomes) -> Tuple[Dict[str, Any], List[str]]:
-    reports = [report for _spec, _result, report in outcomes]
+def _assemble(
+    outcomes,
+) -> Tuple[Dict[str, Any], List[str], Optional[Dict[str, Any]]]:
+    reports = [report for _spec, _result, report, _trace in outcomes]
     document = {
         "schema": SCENARIO_SCHEMA,
         "schema_version": SCENARIO_SCHEMA_VERSION,
         "scenarios": {
             spec["name"]: {"spec": spec, "result": result}
-            for spec, result, _report in outcomes
+            for spec, result, _report, _trace in outcomes
         },
     }
-    return document, reports
+    # Traces merge in input order, so pids (and the whole Chrome-trace
+    # document) are byte-identical between serial and --jobs N runs.
+    entries = [
+        (spec["name"], payload)
+        for spec, _result, _report, payload in outcomes
+        if payload is not None
+    ]
+    trace_document = chrome_trace(entries) if entries else None
+    return document, reports, trace_document
+
+
+def _run_files(worker, paths: Sequence[str], jobs: int):
+    if jobs <= 1 or len(paths) <= 1:
+        outcomes = [worker(path) for path in paths]
+    else:
+        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
+            outcomes = list(pool.map(worker, paths))
+    return _assemble(outcomes)
 
 
 def run_scenario_files(
@@ -85,12 +113,8 @@ def run_scenario_files(
     ``jobs=1`` runs inline (the debuggable fallback); more jobs fan the
     files over a process pool.  Output order always follows input order.
     """
-    if jobs <= 1 or len(paths) <= 1:
-        outcomes = [run_spec_file(path) for path in paths]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
-            outcomes = list(pool.map(run_spec_file, paths))
-    return _assemble(outcomes)
+    document, reports, _trace = _run_files(run_spec_file, paths, jobs)
+    return document, reports
 
 
 def run_chaos_files(
@@ -102,12 +126,32 @@ def run_chaos_files(
     the pool path working; output order always follows input order.
     """
     worker = partial(run_chaos_file, faults=faults)
-    if jobs <= 1 or len(paths) <= 1:
-        outcomes = [worker(path) for path in paths]
+    document, reports, _trace = _run_files(worker, paths, jobs)
+    return document, reports
+
+
+def run_traced(
+    paths: Sequence[str],
+    jobs: int = 1,
+    faults: Optional[FaultSpec] = None,
+    chaos: bool = False,
+) -> Tuple[Dict[str, Any], List[str], Dict[str, Any]]:
+    """Run spec files with span tracing on; returns
+    ``(artifact document, reports, Chrome-trace document)``.
+
+    One trace process per scenario (pid = input order), merged into one
+    Chrome/Perfetto document.  Like the artifact, the trace is assembled
+    in input order from per-scenario deterministic payloads, so serial
+    and ``jobs > 1`` runs produce byte-identical trace JSON.
+    """
+    if chaos or faults is not None:
+        worker = partial(run_chaos_file, faults=faults, trace=True)
     else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
-            outcomes = list(pool.map(worker, paths))
-    return _assemble(outcomes)
+        worker = partial(run_spec_file, trace=True)
+    document, reports, trace_document = _run_files(worker, paths, jobs)
+    if trace_document is None:  # no paths at all
+        trace_document = chrome_trace([])
+    return document, reports, trace_document
 
 
 def _check_unique_names(paths: Sequence[str]) -> None:
@@ -120,23 +164,35 @@ def _check_unique_names(paths: Sequence[str]) -> None:
 
 
 def _emit(
-    document: Dict[str, Any], reports: List[str], json_path: str
+    document: Dict[str, Any],
+    reports: List[str],
+    json_path: str,
+    trace_document: Optional[Dict[str, Any]] = None,
+    trace_path: str = "",
 ) -> Tuple[str, int]:
     output = "\n\n".join(reports)
     if json_path:
         with open(json_path, "w", encoding="utf-8") as handle:
             handle.write(dump_artifact(document))
         output += f"\nwrote artifact: {json_path}"
+    if trace_path and trace_document is not None:
+        with open(trace_path, "w", encoding="utf-8") as handle:
+            handle.write(dump_trace(trace_document))
+        output += f"\nwrote trace: {trace_path}"
     return output, 0
 
 
 def run_cli(
-    paths: Sequence[str], jobs: int = 1, json_path: str = ""
+    paths: Sequence[str], jobs: int = 1, json_path: str = "", trace_path: str = ""
 ) -> Tuple[str, int]:
     """CLI body for ``repro run-scenario``; returns (output, exit code)."""
     _check_unique_names(paths)
-    document, reports = run_scenario_files(paths, jobs=jobs)
-    return _emit(document, reports, json_path)
+    if trace_path:
+        document, reports, trace_document = run_traced(paths, jobs=jobs)
+    else:
+        document, reports = run_scenario_files(paths, jobs=jobs)
+        trace_document = None
+    return _emit(document, reports, json_path, trace_document, trace_path)
 
 
 def parse_kill(text: str) -> LinkKillSpec:
@@ -187,6 +243,7 @@ def run_chaos_cli(
     faults: Optional[FaultSpec] = None,
     jobs: int = 1,
     json_path: str = "",
+    trace_path: str = "",
 ) -> Tuple[str, int]:
     """CLI body for ``repro run-chaos``; returns (output, exit code).
 
@@ -194,5 +251,11 @@ def run_chaos_cli(
     (falling back to the zero-fault default with recovery armed).
     """
     _check_unique_names(paths)
-    document, reports = run_chaos_files(paths, faults=faults, jobs=jobs)
-    return _emit(document, reports, json_path)
+    if trace_path:
+        document, reports, trace_document = run_traced(
+            paths, jobs=jobs, faults=faults, chaos=True
+        )
+    else:
+        document, reports = run_chaos_files(paths, faults=faults, jobs=jobs)
+        trace_document = None
+    return _emit(document, reports, json_path, trace_document, trace_path)

@@ -67,7 +67,11 @@ Instrumentation is opt-in so the fast path stays clean:
 ``Simulator(profile=True)`` (or :func:`set_profile_default`) buckets
 executed events per callback owner into ``Simulator.profile_counts``
 and a process-wide total, and ``Simulator(trace=fn)`` streams
-``(time, seq, owner)`` per executed event.
+``(time, seq, owner)`` per executed event.  A third, model-level layer
+— the per-packet span tracer of :mod:`repro.telemetry` — rides on the
+:attr:`Simulator.tracer` attribute: the kernel never consults it (no
+branch on the ring/heap paths), models do, so with ``tracer = None``
+the event stream is bit-identical to an uninstrumented run.
 """
 
 from __future__ import annotations
@@ -457,7 +461,24 @@ class Simulator:
     :attr:`profile_counts` (and the process-wide :func:`profile_totals`);
     ``trace`` is an optional ``fn(time, seq, owner)`` called for every
     executed event.  Both force the instrumented run loop, so leave them
-    off for production runs.
+    off for production runs.  :attr:`tracer` holds the per-packet span
+    tracer (:class:`repro.telemetry.SpanTracer`) when one is attached;
+    the kernel itself never touches it — model code checks
+    ``sim.tracer is not None`` at its instrumentation points — so the
+    attribute costs nothing when unset.
+
+    The determinism contract in two events::
+
+        >>> sim = Simulator()
+        >>> order = []
+        >>> sim.schedule(20, order.append, "second")
+        >>> sim.schedule(10, order.append, "first")
+        >>> sim.run()
+        20
+        >>> order
+        ['first', 'second']
+        >>> sim.events_fired
+        2
     """
 
     __slots__ = (
@@ -471,6 +492,7 @@ class Simulator:
         "profile",
         "profile_counts",
         "_trace",
+        "tracer",
         "__dict__",
     )
 
@@ -489,6 +511,7 @@ class Simulator:
         self.profile = bool(profile) or _profile_default
         self.profile_counts: Dict[str, int] = {}
         self._trace = trace
+        self.tracer = None
 
     @property
     def now(self) -> int:

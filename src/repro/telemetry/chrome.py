@@ -1,0 +1,149 @@
+"""Chrome-trace / Perfetto export of span-tracer payloads.
+
+The output is the classic `Trace Event Format`_ JSON object
+(``{"traceEvents": [...]}``): load it at https://ui.perfetto.dev or
+``chrome://tracing``.  Mapping:
+
+* **process** (``pid``) — one per scenario, numbered in input order, so
+  a multi-spec run shows one process group per scenario;
+* **thread** (``tid``) — one per packet ``uid`` (``tid = uid + 1``;
+  tid 0 carries process-wide counter series), labelled with the flow's
+  ``group/src->dst #uid`` track name;
+* **"X" complete events** — spans, with ``ts``/``dur`` in microseconds
+  (the simulator tick is a picosecond, so ``ts = tick / 1e6``).
+  Nesting is by time containment on the track: the flow span contains
+  attempt spans contain segment/wire/switch spans;
+* **"C" counter events** — queue depths, stalls, retransmits.
+
+Determinism: events are emitted in a canonical order (per process:
+metadata, then spans sorted by ``(uid, start, -duration, name)``, then
+counters sorted by name) and :func:`dump_trace` renders with sorted
+keys, so the same payloads always produce the same bytes — the
+serial-vs-parallel byte-identity the telemetry tests pin.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+TICKS_PER_US = 1_000_000
+"""Simulator ticks (picoseconds) per Chrome-trace microsecond."""
+
+
+def _span_events(pid: int, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    spans = sorted(
+        payload.get("spans", []),
+        key=lambda s: (s[0], s[3], s[3] - s[4], s[1], s[2]),
+    )
+    events = []
+    for uid, name, category, start, end, args in spans:
+        event = {
+            "ph": "X",
+            "pid": pid,
+            "tid": uid + 1,
+            "name": name,
+            "cat": category,
+            "ts": start / TICKS_PER_US,
+            "dur": (end - start) / TICKS_PER_US,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def _counter_events(pid: int, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    events = []
+    for name in sorted(payload.get("counters", {})):
+        for when, value in payload["counters"][name]:
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": pid,
+                    "tid": 0,
+                    "name": name,
+                    "ts": when / TICKS_PER_US,
+                    "args": {"value": value},
+                }
+            )
+    return events
+
+
+def chrome_trace(
+    entries: Sequence[Tuple[str, Dict[str, Any]]],
+) -> Dict[str, Any]:
+    """The Chrome-trace document for named tracer payloads.
+
+    ``entries`` is ``[(scenario_name, tracer.to_payload()), ...]`` in
+    input order; each entry becomes one trace process.
+    """
+    events: List[Dict[str, Any]] = []
+    for pid, (name, payload) in enumerate(entries, start=1):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": name},
+            }
+        )
+        tracks = payload.get("tracks", {})
+        for uid_text in sorted(tracks, key=int):
+            tid = int(uid_text) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": tracks[uid_text]},
+                }
+            )
+        events.extend(_span_events(pid, payload))
+        events.extend(_counter_events(pid, payload))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.telemetry",
+            "clock": "simulated picoseconds (ts/dur in us)",
+        },
+    }
+
+
+def dump_trace(document: Dict[str, Any]) -> str:
+    """Canonical (byte-stable) JSON rendering of a trace document.
+
+    Same convention as the scenario artifact: 2-space indent, sorted
+    keys, trailing newline — so ``cmp`` pins byte identity in CI.
+    """
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def segment_totals(
+    payload: Dict[str, Any],
+    names: Optional[Iterable[str]] = None,
+    uid: Optional[int] = None,
+) -> Dict[str, int]:
+    """Fold a payload's spans back into name → total ticks.
+
+    With ``names`` the fold is restricted to those span names (e.g.
+    ``FIG11_SEGMENTS + ("wire",)`` reconstructs the paper's latency
+    decomposition from the timeline); with ``uid`` it is restricted to
+    one packet.  The telemetry tests use this to assert the trace and
+    the analytical breakdown agree exactly.
+    """
+    wanted = set(names) if names is not None else None
+    totals: Dict[str, int] = {}
+    for span_uid, name, _category, start, end, _args in payload.get("spans", []):
+        if wanted is not None and name not in wanted:
+            continue
+        if uid is not None and span_uid != uid:
+            continue
+        totals[name] = totals.get(name, 0) + (end - start)
+    return totals

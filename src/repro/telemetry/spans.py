@@ -1,0 +1,112 @@
+"""The span recorder: flat, append-only, JSON-safe.
+
+A span is one closed interval of simulated time attributed to one
+packet: ``(uid, name, category, start_tick, end_tick, args)``.  The
+recorder keeps spans as plain tuples in execution order — no tree is
+built at record time, because nesting is recoverable from time
+containment (a Chrome/Perfetto viewer nests "X" events on the same
+track by interval) and because a flat list is what crosses process
+boundaries unchanged.
+
+Alongside spans the tracer keeps **counter time-series**: named
+``(tick, value)`` samples taken on span boundaries (switch queue
+depths on slot take/release, backpressure stalls, retransmit counts).
+Counters are not keyed by packet — they are the state of the world
+the packet moved through.
+
+Everything here must stay deterministic and picklable: worker
+processes return :meth:`SpanTracer.to_payload` across the pool
+boundary, and the runner reassembles payloads in input order so the
+serial and parallel trace exports are byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+SPAN_CATEGORIES = {
+    "segment": "a driver/device breakdown segment (Fig. 11 taxonomy)",
+    "notify": "RX completion-to-driver notification (poll or interrupt)",
+    "device": "on-DIMM device work (e.g. the RowClone buffer clone)",
+    "net": "end-to-end wire time, endhost MAC/PHY to MAC/PHY",
+    "switch": "one switch hop: queue wait or pipeline+serialization",
+    "recovery": "one reliable-delivery attempt (faults/retransmission)",
+    "flow": "one packet's whole journey, TX entry to RX delivery",
+}
+"""Span category → meaning.  Categories are the ``cat`` field of the
+Chrome-trace events, usable as filters in the Perfetto UI."""
+
+Span = Tuple[int, str, str, int, int, Optional[Dict[str, Any]]]
+"""``(uid, name, category, start_tick, end_tick, args)``."""
+
+
+class SpanTracer:
+    """Records spans and counter samples for one simulator run.
+
+    Attach to a simulator with ``sim.tracer = SpanTracer()`` (the
+    scenario builder does this when given a tracer).  Instrumentation
+    sites call :meth:`add` with timestamps they already observed, so
+    recording never schedules events or advances the clock.
+    """
+
+    __slots__ = ("spans", "counters", "tracks")
+
+    def __init__(self):
+        self.spans: List[Span] = []
+        self.counters: Dict[str, List[Tuple[int, float]]] = {}
+        self.tracks: Dict[int, str] = {}
+
+    def track(self, uid: int, label: str) -> None:
+        """Name the timeline track for packet ``uid`` (first call wins)."""
+        self.tracks.setdefault(uid, label)
+
+    def add(
+        self,
+        uid: int,
+        name: str,
+        category: str,
+        start: int,
+        end: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record one closed span for packet ``uid`` (ticks, inclusive)."""
+        self.spans.append((uid, name, category, start, end, args))
+
+    def counter(self, name: str, when: int, value: float) -> None:
+        """Sample counter ``name`` = ``value`` at tick ``when``."""
+        self.counters.setdefault(name, []).append((when, value))
+
+    def to_payload(self) -> Dict[str, Any]:
+        """A JSON-safe dict that round-trips through a process pool.
+
+        Dict keys become strings (JSON object keys always are); span
+        tuples become lists.  :meth:`from_payload` reverses this.
+        """
+        return {
+            "tracks": {str(uid): label for uid, label in self.tracks.items()},
+            "spans": [
+                [uid, name, category, start, end, args]
+                for uid, name, category, start, end, args in self.spans
+            ],
+            "counters": {
+                name: [[when, value] for when, value in series]
+                for name, series in self.counters.items()
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SpanTracer":
+        """Rebuild a tracer from :meth:`to_payload` output."""
+        tracer = cls()
+        tracer.tracks = {
+            int(uid): label for uid, label in payload.get("tracks", {}).items()
+        }
+        tracer.spans = [
+            (uid, name, category, start, end, args)
+            for uid, name, category, start, end, args in payload.get("spans", [])
+        ]
+        tracer.counters = {
+            name: [(when, value) for when, value in series]
+            for name, series in payload.get("counters", {}).items()
+        }
+        return tracer

@@ -1,0 +1,28 @@
+"""Documentation integrity: links resolve and anchors exist.
+
+Runs the same checker CI's docs job uses (`scripts/check_doc_links.py`)
+so a broken cross-reference fails locally, not just on GitHub.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "scripts" / "check_doc_links.py"
+
+
+def test_markdown_links_resolve():
+    proc = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_required_docs_exist():
+    for name in ("index.md", "observability.md", "artifacts.md",
+                 "architecture.md", "calibration.md", "faults.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), name

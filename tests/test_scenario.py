@@ -215,7 +215,7 @@ class TestRunnerAndCli:
         assert "scenario incast-mixed" in out
         document = json.loads(artifact_path.read_text())
         assert document["schema"] == SCENARIO_SCHEMA
-        assert document["schema_version"] == 2
+        assert document["schema_version"] == 3
         entry = document["scenarios"]["incast-mixed"]
         assert entry["spec"]["fabric"]["kind"] == "clos"
         pairs = entry["result"]["pairs"]
