@@ -54,6 +54,12 @@ def pytest_sessionfinish(session, exitstatus):
         append_bench_run(
             str(BENCH_ARTIFACT),
             list(_RECORDS),
-            meta={"exitstatus": int(exitstatus), "tests": len(_RECORDS)},
+            meta={
+                "exitstatus": int(exitstatus),
+                "tests": len(_RECORDS),
+                # Which kernel lane produced these numbers — lets the
+                # regression gate compare batched vs fallback runs.
+                "kernel_batch": engine.batching_enabled(),
+            },
         )
         _RECORDS.clear()

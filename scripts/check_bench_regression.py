@@ -6,10 +6,16 @@ previous run, and exits 1 if any test fell by more than the threshold
 (default 25%).  A trajectory with fewer than two runs passes — there
 is nothing to regress against yet.
 
+Vanished tests (present in the previous run, missing from the newest)
+fail the gate.  ``--expect-improvement TEST=RATIO`` additionally
+requires the newest run's events/sec for TEST to be at least RATIO
+times the previous run's — used to pin in claimed speedups.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py \
-        [--path BENCH_runner.json] [--threshold 0.25]
+        [--path BENCH_runner.json] [--threshold 0.25] \
+        [--expect-improvement TEST=RATIO ...]
 """
 
 import argparse
@@ -34,7 +40,25 @@ def main(argv=None) -> int:
         default=0.25,
         help="maximum tolerated fractional events/sec drop (default 0.25)",
     )
+    parser.add_argument(
+        "--expect-improvement",
+        action="append",
+        default=[],
+        metavar="TEST=RATIO",
+        help=(
+            "require the newest run's events/sec for TEST to be at least "
+            "RATIO times the previous run's (repeatable)"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    expect_improvement = {}
+    for spec in args.expect_improvement:
+        test, _, ratio = spec.partition("=")
+        try:
+            expect_improvement[test] = float(ratio)
+        except ValueError:
+            parser.error(f"--expect-improvement wants TEST=RATIO, got {spec!r}")
 
     from repro.experiments.harness import check_bench_regression
 
@@ -46,7 +70,11 @@ def main(argv=None) -> int:
         return 2
 
     runs = document.get("runs") or []
-    failures = check_bench_regression(document, threshold=args.threshold)
+    failures = check_bench_regression(
+        document,
+        threshold=args.threshold,
+        expect_improvement=expect_improvement,
+    )
     if failures:
         print(f"bench regression vs previous run ({len(runs)} runs on file):")
         for line in failures:

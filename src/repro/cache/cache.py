@@ -149,6 +149,28 @@ class SetAssociativeCache:
             return True
         return False
 
+    def invalidate_many(self, addresses) -> int:
+        """Drop every present address; returns how many were present.
+
+        The batched form of :meth:`invalidate` for contiguous sweeps
+        (the nCache snoops a whole write's worth of lines at once):
+        one call, one stats update, identical counter totals.
+        """
+        sets = self._sets
+        num_sets = self.num_sets
+        line_bytes = self.line_bytes
+        dropped = 0
+        for address in addresses:
+            line = address // line_bytes
+            lines = sets[line % num_sets]
+            tag = line // num_sets
+            if tag in lines:
+                del lines[tag]
+                dropped += 1
+        if dropped:
+            self.stats.invalidations += dropped
+        return dropped
+
     def get_flag(self, address: int, flag: str) -> bool:
         """Read a per-line boolean flag (False if line absent)."""
         set_index, tag = self._index(address)

@@ -93,13 +93,7 @@ class NCache:
         """
         first = self._align(address)
         last = self._align(address + max(size_bytes, 1) - 1)
-        invalidated = 0
-        line = first
-        while line <= last:
-            if self._cache.invalidate(line):
-                invalidated += 1
-            line += CACHELINE
-        return invalidated
+        return self._cache.invalidate_many(range(first, last + CACHELINE, CACHELINE))
 
     def occupancy(self) -> int:
         """Valid lines currently buffered."""

@@ -102,9 +102,10 @@ class NetDIMMDevice(Component):
         device, i.e. when RDY can be raised.
         """
         self._local(address)  # validate eagerly, before the process runs
-        done = self.sim.future()
-        self.sim.spawn(self._device_read_body(address, size_bytes, done),
-                       name=f"{self.name}.rd")
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(self._device_read_body(address, size_bytes, done),
+                  name=f"{self.name}.rd" if sim.named else "")
         return done
 
     def _device_read_body(self, address: int, size_bytes: int, done: Future):
@@ -171,10 +172,11 @@ class NetDIMMDevice(Component):
         (header caching), and write back the descriptor status.  All at
         nNIC priority.
         """
-        done = self.sim.future()
-        self.sim.spawn(
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(
             self._nic_rx_body(buffer_address, size_bytes, descriptor_address, done),
-            name=f"{self.name}.nicrx",
+            name=f"{self.name}.nicrx" if sim.named else "",
         )
         return done
 
@@ -219,10 +221,11 @@ class NetDIMMDevice(Component):
         Fetch the TX descriptor, read the packet out of local DRAM into
         the nNIC TX buffer, and write back completion status.
         """
-        done = self.sim.future()
-        self.sim.spawn(
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(
             self._nic_tx_body(buffer_address, size_bytes, descriptor_address, done),
-            name=f"{self.name}.nictx",
+            name=f"{self.name}.nictx" if sim.named else "",
         )
         return done
 

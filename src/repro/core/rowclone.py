@@ -111,7 +111,9 @@ class CloneEngine(Component):
         if size_bytes <= 0:
             raise ValueError(f"clone size must be positive: {size_bytes}")
         done = self.sim.future()
-        self.sim.spawn(self._clone_body(src, dst, size_bytes, done), name=f"{self.name}.clone")
+        sim = self.sim
+        sim.spawn(self._clone_body(src, dst, size_bytes, done),
+                  name=f"{self.name}.clone" if sim.named else "")
         return done
 
     def _clone_body(self, src: int, dst: int, size_bytes: int, done: Future):

@@ -86,6 +86,38 @@ class Bank:
             self._write_recovery_until = data_time + timing.tWR
         return data_time
 
+    def access_ready_batch(
+        self, now: int, row: int, is_write: bool, count: int
+    ) -> list:
+        """Data-availability ticks for ``count`` back-to-back accesses to ``row``.
+
+        Byte-identical to calling :meth:`access_ready_time` ``count``
+        times with the same arguments: the first access pays the full
+        hit/miss/conflict classification, and every follow-up is by
+        construction a row hit (the first access left ``row`` open), so
+        it collapses to the pipelined tCCD/tCL arithmetic with no
+        classification, no attribute churn, and one write-recovery
+        update at the end.  This is the DRAM half of the batched drain
+        path — the controller calls it once per same-row run instead of
+        once per cacheline.
+        """
+        times = [self.access_ready_time(now, row, is_write)]
+        if count > 1:
+            timing = self.timing
+            tCL = timing.tCL
+            tCCD = timing.tCCD
+            ready = self._ready_time
+            append = times.append
+            for _ in range(count - 1):
+                start = ready if ready > now else now
+                append(start + tCL)
+                ready = start + tCCD
+            self._ready_time = ready
+            self.row_hits += count - 1
+            if is_write:
+                self._write_recovery_until = times[-1] + timing.tWR
+        return times
+
     def precharge(self, now: int) -> None:
         """Close the open row (explicit precharge)."""
         if self.open_row is None:

@@ -20,10 +20,10 @@ from dataclasses import dataclass, field as dataclass_field
 from typing import List, Optional
 
 from repro.dram.bank import Bank
-from repro.dram.geometry import DRAMGeometry
+from repro.dram.geometry import PAGE_OFFSET_BITS, DRAMGeometry
 from repro.params import DRAMTimingParams
 from repro.sim import Component, Future, Simulator
-from repro.units import CACHELINE
+from repro.units import CACHELINE, PAGE
 
 
 @dataclass
@@ -37,6 +37,10 @@ class MemRequest:
     arrival: int = 0
     completion: Optional[Future] = None
     issue_started: bool = dataclass_field(default=False, repr=False)
+    runs: Optional[list] = dataclass_field(default=None, repr=False)
+    """Batched-path coordinates: ``(bank, global_row, line_count)`` per
+    same-row run, precomputed once at :meth:`MemoryController.access`
+    (``None`` on the per-line fallback path)."""
 
     @property
     def num_lines(self) -> int:
@@ -97,6 +101,14 @@ class MemoryController(Component):
         self._scheduler_running = False
         self._busy_until = 0
         self._hit_streak = 0
+        # Batched drain mode (see "Batched drain" in repro.sim.engine):
+        # requests carry precomputed (bank, row, count) runs and the
+        # scheduler skips the per-line address decode.  The page-level
+        # coords cache is valid because every DRAM coordinate above the
+        # cacheline sits above the 4 KB page offset, so one page maps to
+        # exactly one (bank, global_row).
+        self._batch = bool(sim.batch)
+        self._coords_cache: dict[int, tuple[Bank, int]] = {}
         if refresh_enabled:
             self.sim.spawn(self._refresh_loop(), name=f"{name}.refresh")
 
@@ -124,14 +136,18 @@ class MemoryController(Component):
         written to the array (callers modelling posted writes simply do
         not wait on the future).
         """
+        sim = self.sim
+        pool = sim._future_pool
         request = MemRequest(
             address=address,
             is_write=is_write,
             size_bytes=size_bytes,
             priority=priority,
-            arrival=self.now,
-            completion=self.sim.future(),
+            arrival=sim._now,
+            completion=pool.pop() if pool else Future(sim),
         )
+        if self._batch:
+            request.runs = self._request_runs(request)
         queue = self._write_queue if is_write else self._read_queue
         queue.append(request)
         self.stats.count("writes" if is_write else "reads")
@@ -164,6 +180,39 @@ class MemoryController(Component):
             self._banks[key] = bank
         return bank
 
+    def _coords(self, address: int) -> tuple[Bank, int]:
+        """(bank, global_row) for ``address``, cached per 4 KB page."""
+        page = address >> PAGE_OFFSET_BITS
+        entry = self._coords_cache.get(page)
+        if entry is None:
+            decoded = self.geometry.decode(address)
+            key = decoded.global_bank
+            bank = self._banks.get(key)
+            if bank is None:
+                bank = Bank(self.timing)
+                self._banks[key] = bank
+            entry = (bank, decoded.global_row)
+            self._coords_cache[page] = entry
+        return entry
+
+    def _request_runs(self, request: MemRequest) -> list:
+        """Split a request into same-row ``(bank, row, count)`` runs.
+
+        Lines within one page share (bank, row); a run breaks only at a
+        page boundary.
+        """
+        base = request.address - (request.address % CACHELINE)
+        remaining = request.num_lines
+        runs = []
+        while remaining:
+            bank, row = self._coords(base)
+            in_page = (PAGE - (base & (PAGE - 1))) // CACHELINE
+            take = in_page if in_page < remaining else remaining
+            runs.append((bank, row, take))
+            base += take * CACHELINE
+            remaining -= take
+        return runs
+
     def busy_fraction(self, since: int = 0) -> float:
         """Fraction of [since, now] during which the data bus was busy.
 
@@ -181,7 +230,8 @@ class MemoryController(Component):
     def _ensure_scheduler(self) -> None:
         if not self._scheduler_running:
             self._scheduler_running = True
-            self.sim.spawn(self._scheduler(), name=f"{self.name}.sched")
+            sim = self.sim
+            sim.spawn(self._scheduler(), name=f"{self.name}.sched" if sim.named else "")
 
     def _scheduler(self):
         while self._read_queue or self._write_queue:
@@ -208,15 +258,28 @@ class MemoryController(Component):
         best_index = 0
         best_key = None
         best_was_hit = False
-        for index, request in enumerate(queue):
-            decoded = self.geometry.decode(request.address)
-            row_hit = self.bank(request.address).is_open(decoded.global_row)
-            hit_rank = 0 if (row_hit and honor_row_hits) else 1
-            key = (hit_rank, request.priority, request.arrival, index)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_index = index
-                best_was_hit = row_hit
+        if self._batch:
+            # Batched path: the row-hit test is two attribute loads on
+            # the precomputed head run — no decode, no bank lookup.
+            for index, request in enumerate(queue):
+                bank, row, _count = request.runs[0]
+                row_hit = bank.open_row == row
+                hit_rank = 0 if (row_hit and honor_row_hits) else 1
+                key = (hit_rank, request.priority, request.arrival, index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = index
+                    best_was_hit = row_hit
+        else:
+            for index, request in enumerate(queue):
+                decoded = self.geometry.decode(request.address)
+                row_hit = self.bank(request.address).is_open(decoded.global_row)
+                hit_rank = 0 if (row_hit and honor_row_hits) else 1
+                key = (hit_rank, request.priority, request.arrival, index)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_index = index
+                    best_was_hit = row_hit
         request = queue.pop(best_index)
         if best_was_hit:
             # Streak is counted in cachelines, not requests, so a single
@@ -231,14 +294,36 @@ class MemoryController(Component):
         """Walk the request's lines through bank timing and the data bus."""
         now = self.now
         finish = now
-        for line_address in request.line_addresses():
-            decoded = self.geometry.decode(line_address)
-            bank = self.bank(line_address)
-            data_time = bank.access_ready_time(now, decoded.global_row, request.is_write)
-            transfer_end = max(data_time, self._bus_free + self.timing.tBURST)
-            self.stats.count("bus_busy_ticks", self.timing.tBURST)
-            self._bus_free = transfer_end
-            finish = max(finish, transfer_end)
+        tBURST = self.timing.tBURST
+        if self._batch:
+            # Batched path: one access_ready_batch call per same-row run,
+            # bus occupancy folded in with plain arithmetic, one counter
+            # update per request.  Timing-identical to the per-line loop.
+            bus_free = self._bus_free
+            is_write = request.is_write
+            num_lines = 0
+            for bank, row, count in request.runs:
+                for data_time in bank.access_ready_batch(now, row, is_write, count):
+                    transfer_end = bus_free + tBURST
+                    if data_time > transfer_end:
+                        transfer_end = data_time
+                    bus_free = transfer_end
+                num_lines += count
+            self._bus_free = bus_free
+            if transfer_end > finish:
+                finish = transfer_end
+            self.stats.count("bus_busy_ticks", tBURST * num_lines)
+        else:
+            for line_address in request.line_addresses():
+                decoded = self.geometry.decode(line_address)
+                bank = self.bank(line_address)
+                data_time = bank.access_ready_time(
+                    now, decoded.global_row, request.is_write
+                )
+                transfer_end = max(data_time, self._bus_free + tBURST)
+                self.stats.count("bus_busy_ticks", tBURST)
+                self._bus_free = transfer_end
+                finish = max(finish, transfer_end)
         self.stats.sample("request_latency_ns", (finish - request.arrival) / 1000)
         self.stats.count("lines_transferred", request.num_lines)
         self._busy_until = max(self._busy_until, finish)

@@ -189,6 +189,23 @@ class DRAMGeometry:
         address = (address << PAGE_OFFSET_BITS) | page_offset
         return address
 
+    def subarray_class_of(self, address: int) -> int:
+        """``decode(address).subarray_class`` without building the object.
+
+        The class test is the hottest geometry query (every RowClone
+        FPM-eligibility check and allocator placement runs it), so it
+        is pure shift/mask arithmetic on the bit layout above.
+        """
+        self.check(address)
+        bank = (address >> PAGE_OFFSET_BITS) & (BANKS_PER_RANK - 1)
+        subarray_low = (address >> (PAGE_OFFSET_BITS + BANK_BITS)) & 1
+        subarray_high = (
+            address >> (PAGE_OFFSET_BITS + BANK_BITS + SUBARRAY_LOW_BITS + ROW_HALF_BITS + ROW_BITS)
+        ) & ((1 << SUBARRAY_HIGH_BITS) - 1)
+        rank = address >> RANK_ADDRESS_BITS
+        subarray = (subarray_high << SUBARRAY_LOW_BITS) | subarray_low
+        return (rank * BANKS_PER_RANK + bank) * SUBARRAYS_PER_BANK + subarray
+
     def same_subarray(self, address_a: int, address_b: int) -> bool:
         """Whether two addresses share a (rank, bank, sub-array).
 
@@ -196,18 +213,17 @@ class DRAMGeometry:
         pages satisfy it exactly when their page indices differ by a
         multiple of 32 within the same row window.
         """
-        return (
-            self.decode(address_a).subarray_class
-            == self.decode(address_b).subarray_class
-        )
+        return self.subarray_class_of(address_a) == self.subarray_class_of(address_b)
 
     def same_rank(self, address_a: int, address_b: int) -> bool:
         """Whether two addresses are on the same rank (PSM eligibility)."""
-        return self.decode(address_a).rank == self.decode(address_b).rank
+        self.check(address_a)
+        self.check(address_b)
+        return (address_a >> RANK_ADDRESS_BITS) == (address_b >> RANK_ADDRESS_BITS)
 
     def page_subarray_class(self, page_number: int) -> int:
         """Sub-array class of the page with the given global page index."""
-        return self.decode(page_number * PAGE).subarray_class
+        return self.subarray_class_of(page_number * PAGE)
 
     def pages_in_subarray_class(self, subarray_class: int) -> int:
         """How many 4 KB pages live in one (rank, bank, sub-array) class.

@@ -17,6 +17,7 @@ why the access time is non-deterministic from the host's perspective
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Optional, Protocol
 
 from repro.params import DRAMTimingParams, NVDIMMPParams
@@ -61,6 +62,11 @@ class AsyncMemoryPort(Component):
         self.protocol = protocol or NVDIMMPParams()
         self.channel_bus = channel_bus or Resource(sim, name=f"{name}.bus")
         self._next_request_id = 0
+        # Batched drain mode (see repro.sim.engine): channel-bus claims
+        # are inlined into the transaction bodies instead of delegating
+        # through Resource.use — identical event sequence, one fewer
+        # generator frame per bus occupancy.
+        self._batch = bool(sim.batch)
 
     def _lines(self, size_bytes: int) -> int:
         return max(1, -(-size_bytes // CACHELINE))
@@ -73,26 +79,78 @@ class AsyncMemoryPort(Component):
         """
         self._next_request_id += 1
         request_id = self._next_request_id
-        done = self.sim.future()
-        self.sim.spawn(self._read_body(address, size_bytes, request_id, done),
-                       name=f"{self.name}.xrd{request_id}")
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(self._read_body(address, size_bytes, request_id, done),
+                  name=f"{self.name}.xrd{request_id}" if sim.named else "")
         return done
 
     def _read_body(self, address: int, size_bytes: int, request_id: int, done: Future):
         protocol = self.protocol
-        start = self.now
-        # XRD command on the CA pins (command-bus occupancy).
-        yield from self.channel_bus.use(self.timing.tCMD)
-        yield protocol.xrd_cost
-        # Media access inside the DIMM; RDY is raised when it finishes.
-        yield self.device.device_read(address, size_bytes)
-        self.stats.count("rdy_signals")
-        # Host turnaround: observe RDY, issue SEND.
-        yield protocol.rdy_to_send
-        # Data appears on DQ after a fixed delay, then occupies the bus
-        # for tBURST per cacheline.
+        sim = self.sim
+        start = sim._now
         burst = self._lines(size_bytes) * self.timing.tBURST
-        yield from self.channel_bus.use(protocol.send_to_data + burst)
+        if self._batch:
+            # Inlined Resource.use on the channel bus for both the XRD
+            # command slot and the SEND/DQ data slot — the exact
+            # acquire/yield/recycle/hold/release sequence of
+            # repro.sim.resource.Resource.use without the delegated
+            # generator frame per bus occupancy.
+            bus = self.channel_bus
+            pool = sim._future_pool
+            # XRD command on the CA pins (command-bus occupancy).
+            future = pool.pop() if pool else Future(sim)
+            request_time = sim._now
+            if not bus._busy and not bus._waiters:
+                bus._busy = True
+                bus.total_acquisitions += 1
+                future.set_result(request_time)
+            else:
+                bus._ticket += 1
+                insort(bus._waiters, (0, bus._ticket, future))
+            granted_at = yield future
+            sim.recycle(future)
+            bus.total_wait_ticks += granted_at - request_time
+            hold = self.timing.tCMD
+            if hold:
+                yield hold
+            bus.release()
+            yield protocol.xrd_cost
+            # Media access inside the DIMM; RDY is raised when it finishes.
+            yield self.device.device_read(address, size_bytes)
+            self.stats.count("rdy_signals")
+            # Host turnaround: observe RDY, issue SEND.
+            yield protocol.rdy_to_send
+            # Data appears on DQ after a fixed delay, then occupies the
+            # bus for tBURST per cacheline.
+            future = pool.pop() if pool else Future(sim)
+            request_time = sim._now
+            if not bus._busy and not bus._waiters:
+                bus._busy = True
+                bus.total_acquisitions += 1
+                future.set_result(request_time)
+            else:
+                bus._ticket += 1
+                insort(bus._waiters, (0, bus._ticket, future))
+            granted_at = yield future
+            sim.recycle(future)
+            bus.total_wait_ticks += granted_at - request_time
+            hold = protocol.send_to_data + burst
+            if hold:
+                yield hold
+            bus.release()
+        else:
+            # XRD command on the CA pins (command-bus occupancy).
+            yield from self.channel_bus.use(self.timing.tCMD)
+            yield protocol.xrd_cost
+            # Media access inside the DIMM; RDY is raised when it finishes.
+            yield self.device.device_read(address, size_bytes)
+            self.stats.count("rdy_signals")
+            # Host turnaround: observe RDY, issue SEND.
+            yield protocol.rdy_to_send
+            # Data appears on DQ after a fixed delay, then occupies the bus
+            # for tBURST per cacheline.
+            yield from self.channel_bus.use(protocol.send_to_data + burst)
         self.stats.count("async_reads")
         self.stats.sample("read_latency_ns", (self.now - start) / 1000)
         done.set_result(request_id)
@@ -105,15 +163,38 @@ class AsyncMemoryPort(Component):
         write (host-visible completion); the media write itself proceeds
         inside the device model.
         """
-        done = self.sim.future()
-        self.sim.spawn(self._write_body(address, size_bytes, done),
-                       name=f"{self.name}.xwr")
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(self._write_body(address, size_bytes, done),
+                  name=f"{self.name}.xwr" if sim.named else "")
         return done
 
     def _write_body(self, address: int, size_bytes: int, done: Future):
-        start = self.now
+        sim = self.sim
+        start = sim._now
         burst = self._lines(size_bytes) * self.timing.tBURST
-        yield from self.channel_bus.use(self.timing.tCMD + burst)
+        hold = self.timing.tCMD + burst
+        if self._batch:
+            # Inlined Resource.use on the channel bus (see _read_body).
+            bus = self.channel_bus
+            pool = sim._future_pool
+            future = pool.pop() if pool else Future(sim)
+            request_time = sim._now
+            if not bus._busy and not bus._waiters:
+                bus._busy = True
+                bus.total_acquisitions += 1
+                future.set_result(request_time)
+            else:
+                bus._ticket += 1
+                insort(bus._waiters, (0, bus._ticket, future))
+            granted_at = yield future
+            sim.recycle(future)
+            bus.total_wait_ticks += granted_at - request_time
+            if hold:
+                yield hold
+            bus.release()
+        else:
+            yield from self.channel_bus.use(hold)
         yield self.protocol.write_post_cost
         # The device's media write continues in the background.
         self.device.device_write(address, size_bytes)

@@ -130,7 +130,8 @@ class ServerNode(Component):
         body = self._transmit_body(packet, done)
         if self.fault_stalls:
             body = self._stall_gate(body)
-        self.sim.spawn(body, name=f"{self.name}.tx")
+        sim = self.sim
+        sim.spawn(body, name=f"{self.name}.tx" if sim.named else "")
         return done
 
     def receive(self, packet: Packet) -> Future:
@@ -139,7 +140,8 @@ class ServerNode(Component):
         body = self._receive_body(packet, done)
         if self.fault_stalls:
             body = self._stall_gate(body)
-        self.sim.spawn(body, name=f"{self.name}.rx")
+        sim = self.sim
+        sim.spawn(body, name=f"{self.name}.rx" if sim.named else "")
         return done
 
     def _stall_gate(self, body):

@@ -31,8 +31,11 @@ from __future__ import annotations
 import concurrent.futures
 import hashlib
 import json
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.targets import PAPER_TARGETS
@@ -627,22 +630,52 @@ def append_bench_run(
         {"schema": ..., "schema_version": 1,
          "runs": [{"timestamp": ..., "records": [...]}, ...]}
 
-    A missing or unreadable file starts a fresh trajectory.
+    A missing file starts a fresh trajectory.  An *unreadable* file
+    (malformed JSON, wrong shape, I/O error) is preserved: it is moved
+    aside to ``<path>.corrupt`` and a warning is emitted before the
+    fresh trajectory is written, so a perf history is never silently
+    destroyed.
+
+    Timestamps are timezone-aware UTC ISO-8601
+    (``datetime.now(timezone.utc).isoformat()``).  Older trajectories
+    with local-time ``strftime`` stamps remain valid — timestamps are
+    informational and never parsed by the regression gate.
     """
     document: Dict[str, Any] = {
         "schema": "netdimm-repro/bench-trajectory",
         "schema_version": 1,
         "runs": [],
     }
+    corrupt_reason: Optional[str] = None
     try:
         with open(path, "r", encoding="utf-8") as handle:
             existing = json.load(handle)
         if isinstance(existing, dict) and isinstance(existing.get("runs"), list):
             document = existing
-    except (OSError, ValueError):
+        else:
+            corrupt_reason = "not a bench-trajectory document"
+    except FileNotFoundError:
         pass
+    except (OSError, ValueError) as error:
+        corrupt_reason = str(error)
+    if corrupt_reason is not None:
+        backup = f"{path}.corrupt"
+        try:
+            os.replace(path, backup)
+        except OSError:
+            backup = None
+        warnings.warn(
+            f"bench trajectory {path} is unreadable ({corrupt_reason}); "
+            + (
+                f"backed it up to {backup} and starting fresh"
+                if backup
+                else "could not back it up; starting fresh"
+            ),
+            RuntimeWarning,
+            stacklevel=2,
+        )
     run_entry: Dict[str, Any] = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
         "records": records,
     }
     if meta:
@@ -655,17 +688,27 @@ def append_bench_run(
 
 
 def check_bench_regression(
-    document: Dict[str, Any], threshold: float = 0.25
+    document: Dict[str, Any],
+    threshold: float = 0.25,
+    expect_improvement: Optional[Dict[str, float]] = None,
 ) -> List[str]:
     """Compare the newest bench run against the previous one.
 
     ``document`` is a bench-trajectory (the :func:`append_bench_run`
-    schema).  Each test present in both of the last two runs must keep
-    ``events_per_sec`` within ``threshold`` (fractional drop) of the
-    previous run; violations come back as human-readable strings, an
-    empty list means no regression.  Fewer than two runs, or tests
-    missing from either side, are not failures — a fresh trajectory
-    has nothing to regress against.
+    schema).  Each test present in the previous run must appear in the
+    newest run and keep ``events_per_sec`` within ``threshold``
+    (fractional drop) of the previous value; a test that *vanishes*
+    from the newest run is itself a failure — a silently-dropped
+    benchmark is how regressions hide.  Violations come back as
+    human-readable strings; an empty list means the gate passes.
+    Fewer than two runs passes (a fresh trajectory has nothing to
+    regress against), as do tests that are *new* in the latest run.
+
+    ``expect_improvement`` maps test name → required speedup ratio vs
+    the previous run: the newest ``events_per_sec`` must be at least
+    ``ratio`` times the previous one.  A test named in the map but
+    missing a positive rate on either side is a failure — a declared
+    speedup cannot be waved through on absent data.
     """
     runs = document.get("runs") or []
     if len(runs) < 2:
@@ -685,6 +728,10 @@ def check_bench_regression(
     for test, base_rate in sorted(previous.items()):
         now_rate = current.get(test)
         if now_rate is None:
+            failures.append(
+                f"{test}: present in previous run "
+                f"({base_rate:.0f} events/sec) but missing from newest run"
+            )
             continue
         drop = (base_rate - now_rate) / base_rate
         if drop > threshold:
@@ -692,5 +739,21 @@ def check_bench_regression(
                 f"{test}: events/sec fell {drop:.0%} "
                 f"({base_rate:.0f} -> {now_rate:.0f}, "
                 f"threshold {threshold:.0%})"
+            )
+    for test, ratio in sorted((expect_improvement or {}).items()):
+        base_rate = previous.get(test)
+        now_rate = current.get(test)
+        if base_rate is None or now_rate is None:
+            missing = "previous" if base_rate is None else "newest"
+            failures.append(
+                f"{test}: expected {ratio:g}x improvement but the test has "
+                f"no rate in the {missing} run"
+            )
+            continue
+        if now_rate < base_rate * ratio:
+            failures.append(
+                f"{test}: expected >= {ratio:g}x improvement, got "
+                f"{now_rate / base_rate:.2f}x "
+                f"({base_rate:.0f} -> {now_rate:.0f})"
             )
     return failures

@@ -136,7 +136,9 @@ class AllocCache(Component):
         if subarray_class in self._refilling:
             return
         self._refilling.add(subarray_class)
-        self.sim.spawn(self._refill_body(subarray_class), name=f"{self.name}.refill")
+        sim = self.sim
+        sim.spawn(self._refill_body(subarray_class),
+                  name=f"{self.name}.refill" if sim.named else "")
 
     def _refill_body(self, subarray_class: int):
         yield self.refill_latency

@@ -76,7 +76,7 @@ class PageAllocator:
         """Sub-array class of an address in this zone."""
         if self.geometry is None:
             return 0
-        return self.geometry.decode(address - self.zone.base).subarray_class
+        return self.geometry.subarray_class_of(address - self.zone.base)
 
     def _page_of_class(self, subarray_class: int, index: int) -> Optional[int]:
         """Global address of the ``index``-th page in a class, or None if

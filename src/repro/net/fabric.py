@@ -29,6 +29,7 @@ MAC/PHY — i.e. ``endhost wire pieces + path_latency``.
 
 from __future__ import annotations
 
+from bisect import insort
 from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
@@ -39,7 +40,7 @@ from repro.net.packet import Packet
 from repro.net.switch import Switch
 from repro.net.topology import INTER_DC_WAN_PROPAGATION, ClosTopology
 from repro.params import NetworkParams
-from repro.sim import Component, Resource, Simulator
+from repro.sim import Component, Future, Resource, Simulator
 from repro.units import transfer_time
 
 
@@ -138,6 +139,17 @@ class ClosFabric(Component):
         self._uplinks: Dict[str, Resource] = {}
         # (src, dst) -> all equal-cost paths, sorted for determinism.
         self._route_cache: Dict[Tuple[str, str], List[List[str]]] = {}
+        # (src, dst, path index) -> precomputed per-hop transit plan:
+        # the first-link label plus (switch, next_hop, wan?, label) per
+        # switch hop, so transit never re-reads graph node attributes
+        # or rebuilds link labels per packet.
+        self._hop_plans: Dict[Tuple[str, str, int], tuple] = {}
+        self._serialization_cache: Dict[int, int] = {}
+        # Batched drain mode (see repro.sim.engine): the uplink claim is
+        # inlined into transit instead of delegating through
+        # Resource.use — identical event sequence, one fewer generator
+        # frame per packet.
+        self._batch = bool(sim.batch)
 
     def host_names(self) -> List[str]:
         """All attachable host names, sorted."""
@@ -168,9 +180,44 @@ class ClosFabric(Component):
         return len(self.route(src, dst)) - 2
 
     def _serialization(self, size_bytes: int) -> int:
-        return transfer_time(
-            self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
-        )
+        ticks = self._serialization_cache.get(size_bytes)
+        if ticks is None:
+            ticks = transfer_time(
+                self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
+            )
+            self._serialization_cache[size_bytes] = ticks
+        return ticks
+
+    def _transit_plan(self, src: str, dst: str, flow_id: int) -> tuple:
+        """``(first_link_label, hops)`` for one flow's ECMP path.
+
+        ``hops`` is ``(switch, next_hop, wan_extra, link_label)`` per
+        switch on the path, with the inter-DC WAN test (both endpoints
+        edge-tier) resolved once instead of per packet.
+        """
+        paths = self._route_cache.get((src, dst))
+        if paths is None:
+            paths = sorted(nx.all_shortest_paths(self.topology.graph, src, dst))
+            self._route_cache[(src, dst)] = paths
+        index = flow_id % len(paths)
+        key = (src, dst, index)
+        plan = self._hop_plans.get(key)
+        if plan is None:
+            path = paths[index]
+            tiers = self.topology.graph.nodes
+            hops = []
+            for node, next_hop in zip(path[1:-1], path[2:]):
+                wan_extra = (
+                    tiers[node]["tier"] == "edge"
+                    and next_hop in self.switches
+                    and tiers[next_hop]["tier"] == "edge"
+                )
+                hops.append(
+                    (self.switches[node], next_hop, wan_extra, f"{node}->{next_hop}")
+                )
+            plan = (f"{src}->{path[1]}", tuple(hops))
+            self._hop_plans[key] = plan
+        return plan
 
     def transit(self, packet: Packet, src: str, dst: str):
         """Carry ``packet`` hop by hop from ``src`` to ``dst``.
@@ -185,23 +232,47 @@ class ClosFabric(Component):
         only learns about the loss via its retransmission timer.
         """
         start = self.now
-        path = self.route(src, dst, packet.flow_id)
-        tiers = self.topology.graph.nodes
+        first_link, hops = self._transit_plan(src, dst, packet.flow_id)
         injector = self.injector
         tracer = self.sim.tracer if packet.uid is not None else None
         delivered = True
         # Sender NIC: MAC/PHY, then the host uplink serializes departures.
         yield self.params.mac_phy_latency
-        yield from self._uplink(src).use(self._serialization(packet.size_bytes))
+        serialization = self._serialization(packet.size_bytes)
+        if self._batch:
+            # Inlined Resource.use(serialization) on the host uplink —
+            # the exact acquire/yield/recycle/hold/release sequence of
+            # repro.sim.resource.Resource.use without the delegated
+            # generator frame.
+            uplink = self._uplink(src)
+            sim = self.sim
+            pool = sim._future_pool
+            future = pool.pop() if pool else Future(sim)
+            request_time = sim._now
+            if not uplink._busy and not uplink._waiters:
+                uplink._busy = True
+                uplink.total_acquisitions += 1
+                future.set_result(request_time)
+            else:
+                uplink._ticket += 1
+                insort(uplink._waiters, (0, uplink._ticket, future))
+            granted_at = yield future
+            sim.recycle(future)
+            uplink.total_wait_ticks += granted_at - request_time
+            if serialization:
+                yield serialization
+            uplink.release()
+        else:
+            yield from self._uplink(src).use(serialization)
         yield self.params.propagation
         if injector is not None and (
-            injector.link_verdict(f"{src}->{path[1]}", self.now, packet) != OK
+            injector.link_verdict(first_link, self.now, packet) != OK
         ):
             delivered = False
         if delivered:
             # Each switch: pipeline + contended finite-depth egress + cable.
-            for node, next_hop in zip(path[1:-1], path[2:]):
-                forwarded = yield from self.switches[node].forward_transit(
+            for switch, next_hop, wan_extra, link_label in hops:
+                forwarded = yield from switch.forward_transit(
                     packet.size_bytes,
                     egress_port=next_hop,
                     tracer=tracer,
@@ -211,17 +282,12 @@ class ClosFabric(Component):
                     # Lossy-mode output-queue overflow at this switch.
                     delivered = False
                     break
-                if (
-                    tiers[node]["tier"] == "edge"
-                    and next_hop in self.switches
-                    and tiers[next_hop]["tier"] == "edge"
-                ):
+                if wan_extra:
                     # The inter-DC edge-to-edge link is metro fiber, not a
                     # rack cable: add the WAN propagation on top.
                     yield INTER_DC_WAN_PROPAGATION
                 if injector is not None and (
-                    injector.link_verdict(f"{node}->{next_hop}", self.now, packet)
-                    != OK
+                    injector.link_verdict(link_label, self.now, packet) != OK
                 ):
                     delivered = False
                     break

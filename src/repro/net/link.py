@@ -56,7 +56,9 @@ class EthernetWire(Component):
         """
         done = self.sim.future()
         bus = self._rx_bus if reverse else self._tx_bus
-        self.sim.spawn(self._transmit_body(size_bytes, bus, done), name=f"{self.name}.tx")
+        sim = self.sim
+        sim.spawn(self._transmit_body(size_bytes, bus, done),
+                  name=f"{self.name}.tx" if sim.named else "")
         return done
 
     def _transmit_body(self, size_bytes: int, bus: Resource, done: Future):

@@ -17,6 +17,7 @@ unbounded behavior and its exact event sequence.
 
 from __future__ import annotations
 
+from bisect import insort
 from collections import deque
 from typing import Deque, Dict, Optional
 
@@ -52,6 +53,13 @@ class Switch(Component):
         self._egress_ports: Dict[str, Resource] = {}
         self._occupancy: Dict[str, int] = {}
         self._slot_waiters: Dict[str, Deque[Future]] = {}
+        # Batched drain mode (see repro.sim.engine): the egress claim is
+        # inlined into forward_transit instead of delegating through
+        # Resource.use — identical event sequence, two fewer generator
+        # frames per hop.  The serialization memo is mode-independent
+        # (transfer_time of a given size never changes).
+        self._batch = bool(sim.batch)
+        self._serialization_cache: Dict[int, int] = {}
 
     def _egress(self, port: str) -> Resource:
         resource = self._egress_ports.get(port)
@@ -106,6 +114,24 @@ class Switch(Component):
             if self.drop_mode == "lossy":
                 if self._occupancy.get(egress_port, 0) >= self.queue_depth:
                     self.stats.count("overflow_drops")
+                    # The drop happens at ingress, before any span is
+                    # opened — record it explicitly or the timeline
+                    # undercounts traffic under overflow.
+                    sim_tracer = self.sim.tracer
+                    if sim_tracer is not None:
+                        sim_tracer.counter(
+                            f"{self.name}.{egress_port}.overflow_drops",
+                            self.now,
+                            self.stats.get_counter("overflow_drops"),
+                        )
+                        if uid is not None:
+                            sim_tracer.instant(
+                                uid,
+                                f"{self.name} drop",
+                                "switch",
+                                self.now,
+                                {"port": egress_port},
+                            )
                     return False
                 self._take_slot(egress_port)
             else:
@@ -114,10 +140,37 @@ class Switch(Component):
             tracer.add(uid, f"{self.name} queue", "switch", start, self.now)
         xmit_start = self.now
         yield self.params.switch_latency
-        serialization = transfer_time(
-            self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
-        )
-        yield from self._egress(egress_port).use(serialization)
+        serialization = self._serialization_cache.get(size_bytes)
+        if serialization is None:
+            serialization = transfer_time(
+                self.params.framed_bytes(size_bytes), self.params.link_bytes_per_ps
+            )
+            self._serialization_cache[size_bytes] = serialization
+        if self._batch:
+            # Inlined Resource.use(serialization) on the egress port:
+            # the exact acquire/yield/recycle/hold/release sequence of
+            # repro.sim.resource.Resource.use, minus the delegated
+            # generator frame per hop.
+            egress = self._egress(egress_port)
+            sim = self.sim
+            pool = sim._future_pool
+            future = pool.pop() if pool else Future(sim)
+            request_time = sim._now
+            if not egress._busy and not egress._waiters:
+                egress._busy = True
+                egress.total_acquisitions += 1
+                future.set_result(request_time)
+            else:
+                egress._ticket += 1
+                insort(egress._waiters, (0, egress._ticket, future))
+            granted_at = yield future
+            sim.recycle(future)
+            egress.total_wait_ticks += granted_at - request_time
+            if serialization:
+                yield serialization
+            egress.release()
+        else:
+            yield from self._egress(egress_port).use(serialization)
         if self.queue_depth is not None:
             self._release_slot(egress_port)
         yield self.params.propagation

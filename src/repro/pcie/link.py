@@ -19,11 +19,13 @@ wire.
 
 from __future__ import annotations
 
-from typing import Optional
+from bisect import insort
+from typing import Dict, Optional
 
 from repro.params import PCIeParams
 from repro.pcie.tlp import TLPModel
 from repro.sim import Component, Future, Resource, Simulator
+from repro.units import cachelines
 
 
 class PCIeLink(Component):
@@ -35,6 +37,23 @@ class PCIeLink(Component):
         self.tlp = TLPModel(self.params)
         self._downstream = Resource(sim, name=f"{name}.down")  # host -> device
         self._upstream = Resource(sim, name=f"{name}.up")  # device -> host
+        # TLP serialization is pure arithmetic on the link config; DMA
+        # traffic reuses a handful of sizes, so memoize per size (and
+        # the header-only TLP outright).
+        self._ser_cache: Dict[int, int] = {}
+        self._header_ticks = self.tlp.header_serialization_ticks()
+        # Batched drain mode (see repro.sim.engine): direction-resource
+        # claims are inlined into the transaction bodies instead of
+        # delegating through Resource.use — identical event sequence,
+        # one fewer generator frame per link occupancy.
+        self._batch = bool(sim.batch)
+
+    def _ser(self, size_bytes: int) -> int:
+        ticks = self._ser_cache.get(size_bytes)
+        if ticks is None:
+            ticks = self.tlp.serialization_ticks(size_bytes)
+            self._ser_cache[size_bytes] = ticks
+        return ticks
 
     def _direction(self, toward_device: bool) -> Resource:
         return self._downstream if toward_device else self._upstream
@@ -43,19 +62,42 @@ class PCIeLink(Component):
 
     def posted_write(self, size_bytes: int, toward_device: bool = True) -> Future:
         """A posted memory write; future completes on delivery."""
-        done = self.sim.future()
-        self.sim.spawn(
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(
             self._posted_body(size_bytes, toward_device, done),
-            name=f"{self.name}.mwr",
+            name=f"{self.name}.mwr" if sim.named else "",
         )
         return done
 
     def _posted_body(self, size_bytes: int, toward_device: bool, done: Future):
-        start = self.now
-        ticks = self.tlp.serialization_ticks(size_bytes) if size_bytes else (
-            self.tlp.header_serialization_ticks()
-        )
-        yield from self._direction(toward_device).use(ticks)
+        sim = self.sim
+        start = sim._now
+        ticks = self._ser(size_bytes) if size_bytes else self._header_ticks
+        direction = self._downstream if toward_device else self._upstream
+        if self._batch:
+            # Inlined Resource.use on the link direction — the exact
+            # acquire/yield/recycle/hold/release sequence of
+            # repro.sim.resource.Resource.use without the delegated
+            # generator frame.
+            pool = sim._future_pool
+            future = pool.pop() if pool else Future(sim)
+            request_time = sim._now
+            if not direction._busy and not direction._waiters:
+                direction._busy = True
+                direction.total_acquisitions += 1
+                future.set_result(request_time)
+            else:
+                direction._ticket += 1
+                insort(direction._waiters, (0, direction._ticket, future))
+            granted_at = yield future
+            sim.recycle(future)
+            direction.total_wait_ticks += granted_at - request_time
+            if ticks:
+                yield ticks
+            direction.release()
+        else:
+            yield from direction.use(ticks)
         yield self.params.propagation
         self.stats.count("posted_writes")
         self.stats.sample("posted_write_ns", (self.now - start) / 1000)
@@ -67,28 +109,64 @@ class PCIeLink(Component):
         ``from_device=False`` is a device reading host memory (the common
         DMA direction); ``True`` is the host reading device memory.
         """
-        done = self.sim.future()
-        self.sim.spawn(self._read_body(size_bytes, from_device, done),
-                       name=f"{self.name}.mrd")
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(self._read_body(size_bytes, from_device, done),
+                  name=f"{self.name}.mrd" if sim.named else "")
         return done
 
     def _read_body(self, size_bytes: int, from_device: bool, done: Future):
-        start = self.now
+        sim = self.sim
+        start = sim._now
         request_direction = self._direction(toward_device=from_device)
         completion_direction = self._direction(toward_device=not from_device)
-        requests = max(1, self.tlp.read_request_count(size_bytes))
-        # Issue the first request and wait its full round trip; subsequent
-        # MRRS chunks are pipelined, so they only add serialization time.
-        yield from request_direction.use(self.tlp.header_serialization_ticks())
-        yield self.params.propagation
-        yield self.params.completion_overhead
         first_chunk = min(size_bytes, self.params.max_read_request_size)
-        yield from completion_direction.use(self.tlp.serialization_ticks(first_chunk))
         remaining = size_bytes - first_chunk
-        if remaining > 0:
-            # Remaining chunks stream back-to-back at link bandwidth.
-            del requests
-            yield from completion_direction.use(self.tlp.serialization_ticks(remaining))
+        if self._batch:
+            # Inlined Resource.use on each link direction (see
+            # _posted_body): request TLP, then the pipelined MRRS
+            # completion chunks, identical event sequence to the
+            # delegating path below.
+            pool = sim._future_pool
+            holds = (
+                (request_direction, self._header_ticks),
+                (completion_direction, self._ser(first_chunk)),
+            )
+            if remaining > 0:
+                # Remaining chunks stream back-to-back at link bandwidth.
+                holds += ((completion_direction, self._ser(remaining)),)
+            for index, (direction, ticks) in enumerate(holds):
+                future = pool.pop() if pool else Future(sim)
+                request_time = sim._now
+                if not direction._busy and not direction._waiters:
+                    direction._busy = True
+                    direction.total_acquisitions += 1
+                    future.set_result(request_time)
+                else:
+                    direction._ticket += 1
+                    insort(direction._waiters, (0, direction._ticket, future))
+                granted_at = yield future
+                sim.recycle(future)
+                direction.total_wait_ticks += granted_at - request_time
+                if ticks:
+                    yield ticks
+                direction.release()
+                if index == 0:
+                    # First request's full round trip: propagation out,
+                    # completer internal latency, completion back.
+                    yield self.params.propagation
+                    yield self.params.completion_overhead
+        else:
+            # Issue the first request and wait its full round trip;
+            # subsequent MRRS chunks are pipelined, so they only add
+            # serialization time.
+            yield from request_direction.use(self._header_ticks)
+            yield self.params.propagation
+            yield self.params.completion_overhead
+            yield from completion_direction.use(self._ser(first_chunk))
+            if remaining > 0:
+                # Remaining chunks stream back-to-back at link bandwidth.
+                yield from completion_direction.use(self._ser(remaining))
         yield self.params.propagation
         self.stats.count("reads")
         self.stats.sample("read_ns", (self.now - start) / 1000)
@@ -98,8 +176,10 @@ class PCIeLink(Component):
 
     def mmio_read(self) -> Future:
         """CPU load from a device register: a blocking full round trip."""
-        done = self.sim.future()
-        self.sim.spawn(self._mmio_read_body(done), name=f"{self.name}.mmio_rd")
+        sim = self.sim
+        done = sim.future()
+        sim.spawn(self._mmio_read_body(done),
+                  name=f"{self.name}.mmio_rd" if sim.named else "")
         return done
 
     def _mmio_read_body(self, done: Future):
@@ -133,8 +213,6 @@ class PCIeLink(Component):
         breakpoint stream at ``dma_line_cost_steady``.  This reproduces
         the steep-then-flattening latency-vs-size slope of the paper's
         dNIC (Fig. 11 left)."""
-        from repro.units import cachelines
-
         lines = cachelines(max(size_bytes, 1))
         extra = lines - 1
         if extra <= 0:

@@ -23,7 +23,7 @@ class Component:
     @property
     def now(self) -> int:
         """Current simulated time in ticks."""
-        return self.sim.now
+        return self.sim._now
 
     def spawn(self, body, name: str = ""):
         """Spawn a process owned by this component.

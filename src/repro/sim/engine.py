@@ -72,15 +72,43 @@ and a process-wide total, and ``Simulator(trace=fn)`` streams
 :attr:`Simulator.tracer` attribute: the kernel never consults it (no
 branch on the ring/heap paths), models do, so with ``tracer = None``
 the event stream is bit-identical to an uninstrumented run.
+
+Batched drain
+-------------
+
+The run loops come in two provably order-identical flavors, selected
+per simulator (``Simulator(batch=...)``), process-wide
+(:func:`set_batch_default`), or by the ``REPRO_KERNEL_BATCH``
+environment variable (``0`` forces the fallback):
+
+* the **per-event fallback** re-runs the ring/heap merge test before
+  every single event — the original loop, kept verbatim as the
+  reference implementation;
+* the **batched drain** exploits the two queue invariants once per
+  tick instead of once per event: every heap entry due at the current
+  tick precedes every live ring entry (smaller ``seq`` — see above),
+  so the loop first pops *all* due heap entries, and then — since an
+  executed callback can only append ring entries (zero delay) or push
+  strictly-future heap entries — drains the *entire* ring as one batch
+  with no merge test at all.
+
+Both flavors execute the identical ``(time, seq)`` stream; the golden
+event-order test runs the same workload under each and compares the
+streams element-for-element.  Model components (the switch's
+aggregate-serialization path, the DRAM controller's batched issue)
+consult :func:`batching_enabled` at construction so the whole stack
+flips with one switch — ``REPRO_KERNEL_BATCH=0`` is the pure-Python
+per-packet reference lane that CI benches against the batched lane.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from heapq import heappop, heappush
 from sys import getrefcount
-from typing import Any, Callable, Dict, Generator, Iterable, Optional
+from typing import Any, Callable, Dict, Generator, Iterable, Optional, Tuple
 
 ProcessBody = Generator[Any, Any, Any]
 
@@ -94,6 +122,19 @@ delta across a call) without threading every simulator instance out.
 
 _profile_default = False
 """Whether new simulators profile by default (see :func:`set_profile_default`)."""
+
+_batch_default = os.environ.get("REPRO_KERNEL_BATCH", "1").strip().lower() not in (
+    "0",
+    "false",
+    "off",
+    "no",
+)
+"""Whether new simulators use the batched drain loops by default.
+
+``REPRO_KERNEL_BATCH=0`` in the environment selects the per-event
+fallback for the whole process — the reference lane CI benches the
+batched lane against.  See :func:`set_batch_default`.
+"""
 
 _profile_totals: Dict[str, int] = {}
 """Events per callback owner, aggregated across every profiling simulator."""
@@ -115,6 +156,23 @@ def set_profile_default(enabled: bool) -> None:
     """
     global _profile_default
     _profile_default = bool(enabled)
+
+
+def set_batch_default(enabled: bool) -> None:
+    """Make every *subsequently created* simulator batch (or not).
+
+    Models that keep their own batch/per-packet mode (the switch's
+    aggregate serialization, the DRAM controller's grouped issue) read
+    :func:`batching_enabled` at construction, so flipping this default
+    switches the entire stack, not just the kernel loop.
+    """
+    global _batch_default
+    _batch_default = bool(enabled)
+
+
+def batching_enabled() -> bool:
+    """Whether new simulators (and model fast paths) batch by default."""
+    return _batch_default
 
 
 def profile_totals() -> Dict[str, int]:
@@ -315,7 +373,11 @@ class Process:
         self.sim = sim
         self.name = name or getattr(body, "__name__", "process")
         self.body = body
-        self.done = Future(sim)
+        # Pool-backed like Simulator.future(): model layers spawn a
+        # process per request/packet, so done-future churn feeds the
+        # same free list the contention primitives recycle into.
+        pool = sim._future_pool
+        self.done = pool.pop() if pool else Future(sim)
         # Pre-bound callables: creating a bound method object per event
         # (every `self._step` placed in a queue entry, every
         # `self._resume` handed to add_callback) costs an allocation on
@@ -493,6 +555,8 @@ class Simulator:
         "profile_counts",
         "_trace",
         "tracer",
+        "batch",
+        "named",
         "__dict__",
     )
 
@@ -500,6 +564,7 @@ class Simulator:
         self,
         profile: bool = False,
         trace: Optional[Callable[[int, int, str], None]] = None,
+        batch: Optional[bool] = None,
     ):
         self._now = 0
         self._seq = 0
@@ -512,6 +577,11 @@ class Simulator:
         self.profile_counts: Dict[str, int] = {}
         self._trace = trace
         self.tracer = None
+        self.batch = _batch_default if batch is None else bool(batch)
+        # Process names only feed the kernel profiler and the raw event
+        # trace; when neither is active, hot spawn sites can skip
+        # building per-process name strings entirely.
+        self.named = self.profile or trace is not None
 
     @property
     def now(self) -> int:
@@ -551,6 +621,38 @@ class Simulator:
             )
         self.schedule(when - self._now, fn, *args)
 
+    def schedule_batch(
+        self, delay: int, calls: Iterable[Tuple[Callable[..., None], tuple]]
+    ) -> int:
+        """Schedule many callbacks for one tick in a single operation.
+
+        ``calls`` is an iterable of ``(fn, args)`` pairs.  Consecutive
+        ``seq`` numbers are allocated in iteration order, so the batch
+        fires in exactly the order :meth:`schedule` would have produced
+        for one call per pair — but a zero-delay batch lands on the
+        same-tick ring with a single ``deque.extend`` instead of one
+        append per event.  Returns the number of events scheduled.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
+        seq = self._seq
+        if delay == 0:
+            entries = []
+            append = entries.append
+            for fn, args in calls:
+                seq += 1
+                append((seq, fn, args))
+            self._ring.extend(entries)
+        else:
+            queue = self._queue
+            when = self._now + delay
+            for fn, args in calls:
+                seq += 1
+                heappush(queue, (when, seq, fn, args))
+        count = seq - self._seq
+        self._seq = seq
+        return count
+
     def future(self) -> Future:
         """Create a pending future bound to this simulator (pool-backed)."""
         pool = self._future_pool
@@ -587,7 +689,12 @@ class Simulator:
     def spawn(self, body: ProcessBody, name: str = "") -> Process:
         """Start a process; its first step runs at the current tick."""
         process = Process(self, body, name)
-        self.schedule(0, process._step_bound)
+        # Inlined schedule(0, ...): spawn is hot enough in the model
+        # layers (a process per DRAM request / packet hop) for the call
+        # to show up.
+        seq = self._seq + 1
+        self._seq = seq
+        self._ring_append((seq, process._step_bound, ()))
         return process
 
     def spawn_at(self, when: int, body: ProcessBody, name: str = "") -> Process:
@@ -598,8 +705,18 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None) -> Future:
         """A future that completes ``delay`` ticks from now."""
-        future = self.future()
-        self.schedule(delay, future.set_result, value)
+        pool = self._future_pool
+        future = pool.pop() if pool else Future(self)
+        if delay > 0:
+            seq = self._seq + 1
+            self._seq = seq
+            heappush(self._queue, (self._now + delay, seq, future.set_result, (value,)))
+        elif delay == 0:
+            seq = self._seq + 1
+            self._seq = seq
+            self._ring_append((seq, future.set_result, (value,)))
+        else:
+            raise SimulationError(f"cannot schedule into the past: delay={delay}")
         return future
 
     def call_later(self, delay: int, fn: Callable[..., None], *args: Any) -> Timer:
@@ -655,7 +772,11 @@ class Simulator:
         if until is not None and until < self._now:
             return self._now
         if self.profile or self._trace is not None:
+            if self.batch:
+                return self._run_instrumented_batched(until, max_events)
             return self._run_instrumented(until, max_events)
+        if self.batch:
+            return self._run_batched(until, max_events)
         queue = self._queue
         ring = self._ring
         pop = heappop
@@ -744,7 +865,11 @@ class Simulator:
         """
         global _events_fired_total
         if self.profile or self._trace is not None:
+            if self.batch:
+                return self._run_until_instrumented_batched(future, max_events)
             return self._run_until_instrumented(future, max_events)
+        if self.batch:
+            return self._run_until_batched(future, max_events)
         queue = self._queue
         ring = self._ring
         pop = heappop
@@ -777,6 +902,231 @@ class Simulator:
             return future.value
         finally:
             executed = (self._seq - seq_before) + pending_before - len(queue) - len(ring)
+            self._events_fired += executed
+            _events_fired_total += executed
+
+    # -- batched execution (see "Batched drain" in the module docstring) ----
+
+    def _run_batched(self, until: Optional[int], max_events: Optional[int]) -> int:
+        """The :meth:`run` loop draining whole ticks at a time.
+
+        Order-identical to the per-event fallback: every heap entry due
+        at the current tick precedes every live ring entry (smaller
+        ``seq``), and executed callbacks only append ring entries or
+        push strictly-future heap entries — so the due heap drains
+        first, then the entire ring drains with no merge test per
+        event.
+        """
+        global _events_fired_total
+        queue = self._queue
+        ring = self._ring
+        pop = heappop
+        popleft = ring.popleft
+        seq_before = self._seq
+        pending_before = len(queue) + len(ring)
+        try:
+            if max_events is None:
+                while True:
+                    now = self._now
+                    while queue and queue[0][0] <= now:
+                        _w, _s, fn, args = pop(queue)
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                    # Nothing left can become due at this tick, so the
+                    # ring drains unconditionally.
+                    while ring:
+                        _s, fn, args = popleft()
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                    if queue:
+                        when = queue[0][0]
+                        if until is not None and when > until:
+                            self._now = until
+                            return until
+                        self._now = when
+                    else:
+                        break
+            else:
+                budget = max_events
+                while True:
+                    now = self._now
+                    while queue and queue[0][0] <= now:
+                        if budget == 0:
+                            return now
+                        budget -= 1
+                        _w, _s, fn, args = pop(queue)
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                    while ring:
+                        if budget == 0:
+                            return self._now
+                        budget -= 1
+                        _s, fn, args = popleft()
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                    if queue:
+                        when = queue[0][0]
+                        if until is not None and when > until:
+                            self._now = until
+                            return until
+                        if budget == 0:
+                            return self._now
+                        self._now = when
+                    else:
+                        break
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            executed = (self._seq - seq_before) + pending_before - len(queue) - len(ring)
+            self._events_fired += executed
+            _events_fired_total += executed
+
+    def _run_until_batched(self, future: Future, max_events: Optional[int]) -> Any:
+        """The :meth:`run_until` loop with the batched tick drain."""
+        global _events_fired_total
+        queue = self._queue
+        ring = self._ring
+        pop = heappop
+        popleft = ring.popleft
+        budget = -1 if max_events is None else max_events
+        seq_before = self._seq
+        pending_before = len(queue) + len(ring)
+        try:
+            while not future._done:
+                now = self._now
+                if queue and queue[0][0] <= now:
+                    while queue and queue[0][0] <= now:
+                        if future._done:
+                            break
+                        if budget == 0:
+                            raise SimulationError(f"exceeded max_events={max_events}")
+                        budget -= 1
+                        _w, _s, fn, args = pop(queue)
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                elif ring:
+                    while ring:
+                        if future._done:
+                            break
+                        if budget == 0:
+                            raise SimulationError(f"exceeded max_events={max_events}")
+                        budget -= 1
+                        _s, fn, args = popleft()
+                        if args:
+                            fn(*args)
+                        else:
+                            fn()
+                elif queue:
+                    if budget == 0:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    self._now = queue[0][0]
+                else:
+                    raise SimulationError("event queue drained before future completed")
+            return future.value
+        finally:
+            executed = (self._seq - seq_before) + pending_before - len(queue) - len(ring)
+            self._events_fired += executed
+            _events_fired_total += executed
+
+    def _run_instrumented_batched(
+        self, until: Optional[int], max_events: Optional[int]
+    ) -> int:
+        """:meth:`_run_batched` with the per-event profile/trace hook.
+
+        Exists so traced runs exercise the *batched* drain logic — the
+        golden-stream equality tests compare this loop's event stream
+        against :meth:`_run_instrumented`'s.
+        """
+        global _events_fired_total
+        queue = self._queue
+        ring = self._ring
+        instrument = self._instrument
+        executed = 0
+        try:
+            while True:
+                now = self._now
+                while queue and queue[0][0] <= now:
+                    if max_events is not None and executed >= max_events:
+                        return now
+                    when, seq, fn, args = heapq.heappop(queue)
+                    executed += 1
+                    instrument(when, seq, fn)
+                    fn(*args)
+                while ring:
+                    if max_events is not None and executed >= max_events:
+                        return now
+                    seq, fn, args = ring.popleft()
+                    executed += 1
+                    instrument(now, seq, fn)
+                    fn(*args)
+                if queue:
+                    when = queue[0][0]
+                    if until is not None and when > until:
+                        self._now = until
+                        return until
+                    if max_events is not None and executed >= max_events:
+                        return self._now
+                    self._now = when
+                else:
+                    break
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._events_fired += executed
+            _events_fired_total += executed
+
+    def _run_until_instrumented_batched(
+        self, future: Future, max_events: Optional[int]
+    ) -> Any:
+        """:meth:`_run_until_batched` with the per-event instrumentation hook."""
+        global _events_fired_total
+        queue = self._queue
+        ring = self._ring
+        instrument = self._instrument
+        executed = 0
+        try:
+            while not future._done:
+                now = self._now
+                if queue and queue[0][0] <= now:
+                    while queue and queue[0][0] <= now:
+                        if future._done:
+                            break
+                        if max_events is not None and executed >= max_events:
+                            raise SimulationError(f"exceeded max_events={max_events}")
+                        when, seq, fn, args = heapq.heappop(queue)
+                        executed += 1
+                        instrument(when, seq, fn)
+                        fn(*args)
+                elif ring:
+                    while ring:
+                        if future._done:
+                            break
+                        if max_events is not None and executed >= max_events:
+                            raise SimulationError(f"exceeded max_events={max_events}")
+                        seq, fn, args = ring.popleft()
+                        executed += 1
+                        instrument(now, seq, fn)
+                        fn(*args)
+                elif queue:
+                    if max_events is not None and executed >= max_events:
+                        raise SimulationError(f"exceeded max_events={max_events}")
+                    self._now = queue[0][0]
+                else:
+                    raise SimulationError("event queue drained before future completed")
+            return future.value
+        finally:
             self._events_fired += executed
             _events_fired_total += executed
 

@@ -145,7 +145,9 @@ class Pipe:
     def send(self, size_bytes: int, payload: Any = None) -> Future:
         """Send a message; the future completes on arrival with ``payload``."""
         arrival = self.sim.future()
-        self.sim.spawn(self._send_body(size_bytes, payload, arrival), name=f"{self.name}.send")
+        sim = self.sim
+        sim.spawn(self._send_body(size_bytes, payload, arrival),
+                  name=f"{self.name}.send" if sim.named else "")
         return arrival
 
     def _send_body(self, size_bytes: int, payload: Any, arrival: Future):

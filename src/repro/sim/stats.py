@@ -36,9 +36,12 @@ class Histogram:
 
     def record(self, value: float) -> None:
         """Add one sample."""
-        if self._samples and value < self._samples[-1]:
-            self._sorted = False
+        # Unconditionally clear the sorted flag instead of comparing
+        # against the tail: record is the hot path, and re-sorting an
+        # already-ordered list at percentile time is a linear timsort
+        # pass — cheaper overall than a branch per sample.
         self._samples.append(value)
+        self._sorted = False
 
     def extend(self, values: Iterable[float]) -> None:
         """Add many samples."""
@@ -164,6 +167,10 @@ class StatRecorder:
     into report rows.
     """
 
+    # Slotted: every model-layer counter bump and latency sample goes
+    # through one of these, so the attribute loads are hot.
+    __slots__ = ("owner", "counters", "scalars", "histograms")
+
     def __init__(self, owner: str = ""):
         self.owner = owner
         self.counters: Dict[str, int] = {}
@@ -194,7 +201,10 @@ class StatRecorder:
         if histogram is None:
             histogram = Histogram(name=f"{self.owner}.{name}" if self.owner else name)
             self.histograms[name] = histogram
-        histogram.record(value)
+        # Inlined Histogram.record — one attribute hop less on the
+        # hottest sampling path.
+        histogram._samples.append(value)
+        histogram._sorted = False
 
     def get_counter(self, name: str) -> int:
         """Counter value (0 if never incremented)."""

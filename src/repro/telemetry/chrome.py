@@ -13,10 +13,13 @@ The output is the classic `Trace Event Format`_ JSON object
   (the simulator tick is a picosecond, so ``ts = tick / 1e6``).
   Nesting is by time containment on the track: the flow span contains
   attempt spans contain segment/wire/switch spans;
-* **"C" counter events** — queue depths, stalls, retransmits.
+* **"i" instant events** — zero-duration points on a packet's track
+  (e.g. a lossy switch dropping the frame at ingress), thread-scoped;
+* **"C" counter events** — queue depths, stalls, retransmits, drops.
 
 Determinism: events are emitted in a canonical order (per process:
 metadata, then spans sorted by ``(uid, start, -duration, name)``, then
+instants sorted by ``(uid, tick, name)``, then
 counters sorted by name) and :func:`dump_trace` renders with sorted
 keys, so the same payloads always produce the same bytes — the
 serial-vs-parallel byte-identity the telemetry tests pin.
@@ -49,6 +52,28 @@ def _span_events(pid: int, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
             "cat": category,
             "ts": start / TICKS_PER_US,
             "dur": (end - start) / TICKS_PER_US,
+        }
+        if args:
+            event["args"] = args
+        events.append(event)
+    return events
+
+
+def _instant_events(pid: int, payload: Dict[str, Any]) -> List[Dict[str, Any]]:
+    instants = sorted(
+        payload.get("instants", []),
+        key=lambda i: (i[0], i[3], i[1], i[2]),
+    )
+    events = []
+    for uid, name, category, when, args in instants:
+        event = {
+            "ph": "i",
+            "s": "t",
+            "pid": pid,
+            "tid": uid + 1,
+            "name": name,
+            "cat": category,
+            "ts": when / TICKS_PER_US,
         }
         if args:
             event["args"] = args
@@ -105,6 +130,7 @@ def chrome_trace(
                 }
             )
         events.extend(_span_events(pid, payload))
+        events.extend(_instant_events(pid, payload))
         events.extend(_counter_events(pid, payload))
     return {
         "traceEvents": events,

@@ -39,6 +39,10 @@ Chrome-trace events, usable as filters in the Perfetto UI."""
 Span = Tuple[int, str, str, int, int, Optional[Dict[str, Any]]]
 """``(uid, name, category, start_tick, end_tick, args)``."""
 
+Instant = Tuple[int, str, str, int, Optional[Dict[str, Any]]]
+"""``(uid, name, category, tick, args)`` — a point event with no
+duration: a packet was dropped, a timer fired, a threshold crossed."""
+
 
 class SpanTracer:
     """Records spans and counter samples for one simulator run.
@@ -49,12 +53,13 @@ class SpanTracer:
     recording never schedules events or advances the clock.
     """
 
-    __slots__ = ("spans", "counters", "tracks")
+    __slots__ = ("spans", "counters", "tracks", "instants")
 
     def __init__(self):
         self.spans: List[Span] = []
         self.counters: Dict[str, List[Tuple[int, float]]] = {}
         self.tracks: Dict[int, str] = {}
+        self.instants: List[Instant] = []
 
     def track(self, uid: int, label: str) -> None:
         """Name the timeline track for packet ``uid`` (first call wins)."""
@@ -76,6 +81,22 @@ class SpanTracer:
         """Sample counter ``name`` = ``value`` at tick ``when``."""
         self.counters.setdefault(name, []).append((when, value))
 
+    def instant(
+        self,
+        uid: int,
+        name: str,
+        category: str,
+        when: int,
+        args: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a zero-duration point event on packet ``uid``'s track.
+
+        Used where a span would lie about duration — e.g. a lossy
+        switch eating a frame at ingress, which consumes no simulated
+        time but must still show up on the packet's timeline.
+        """
+        self.instants.append((uid, name, category, when, args))
+
     def to_payload(self) -> Dict[str, Any]:
         """A JSON-safe dict that round-trips through a process pool.
 
@@ -92,6 +113,10 @@ class SpanTracer:
                 name: [[when, value] for when, value in series]
                 for name, series in self.counters.items()
             },
+            "instants": [
+                [uid, name, category, when, args]
+                for uid, name, category, when, args in self.instants
+            ],
         }
 
     @classmethod
@@ -109,4 +134,8 @@ class SpanTracer:
             name: [(when, value) for when, value in series]
             for name, series in payload.get("counters", {}).items()
         }
+        tracer.instants = [
+            (uid, name, category, when, args)
+            for uid, name, category, when, args in payload.get("instants", [])
+        ]
         return tracer

@@ -179,11 +179,47 @@ class TestBenchEmitter:
         assert len(second["runs"]) == 2
         assert second["runs"][1]["meta"] == {"tests": 1}
 
-    def test_corrupt_file_starts_fresh(self, tmp_path):
+    def test_corrupt_file_is_backed_up_not_silently_discarded(self, tmp_path):
         path = tmp_path / "BENCH_runner.json"
         path.write_text("{not json")
-        document = harness.append_bench_run(str(path), [])
+        with pytest.warns(RuntimeWarning, match="unreadable"):
+            document = harness.append_bench_run(str(path), [])
         assert len(document["runs"]) == 1
+        backup = tmp_path / "BENCH_runner.json.corrupt"
+        assert backup.read_text() == "{not json"
+
+    def test_wrong_shape_file_is_backed_up(self, tmp_path):
+        path = tmp_path / "BENCH_runner.json"
+        path.write_text('{"valid json": "but not a trajectory"}')
+        with pytest.warns(RuntimeWarning, match="not a bench-trajectory"):
+            document = harness.append_bench_run(str(path), [])
+        assert len(document["runs"]) == 1
+        assert (tmp_path / "BENCH_runner.json.corrupt").exists()
+
+    def test_timestamps_are_utc_iso8601(self, tmp_path):
+        from datetime import datetime, timezone
+
+        path = tmp_path / "BENCH_runner.json"
+        document = harness.append_bench_run(str(path), [])
+        stamp = document["runs"][0]["timestamp"]
+        parsed = datetime.fromisoformat(stamp)
+        assert parsed.utcoffset() is not None
+        assert parsed.utcoffset().total_seconds() == 0
+        assert abs((datetime.now(timezone.utc) - parsed).total_seconds()) < 60
+
+    def test_old_local_time_entries_remain_accepted(self, tmp_path):
+        # Trajectories written before the UTC switch carry strftime
+        # local-time stamps; appending must keep them untouched.
+        path = tmp_path / "BENCH_runner.json"
+        old = {
+            "schema": "netdimm-repro/bench-trajectory",
+            "schema_version": 1,
+            "runs": [{"timestamp": "2026-01-05T10:00:00+0100", "records": []}],
+        }
+        path.write_text(json.dumps(old))
+        document = harness.append_bench_run(str(path), [])
+        assert len(document["runs"]) == 2
+        assert document["runs"][0]["timestamp"] == "2026-01-05T10:00:00+0100"
 
 
 class TestBenchRegressionCheck:
@@ -220,9 +256,41 @@ class TestBenchRegressionCheck:
         document = self._trajectory({"t1": 9999.0}, {"t1": 1000.0}, {"t1": 900.0})
         assert harness.check_bench_regression(document) == []
 
-    def test_new_or_vanished_tests_are_not_failures(self):
-        document = self._trajectory({"old": 1000.0}, {"new": 10.0})
+    def test_new_tests_are_not_failures(self):
+        document = self._trajectory({"t1": 1000.0}, {"t1": 1000.0, "new": 10.0})
         assert harness.check_bench_regression(document) == []
+
+    def test_vanished_tests_are_failures(self):
+        document = self._trajectory({"old": 1000.0, "t1": 500.0}, {"t1": 500.0})
+        failures = harness.check_bench_regression(document)
+        assert len(failures) == 1
+        assert failures[0].startswith("old:")
+        assert "missing from newest run" in failures[0]
+
+    def test_expected_improvement_met_passes(self):
+        document = self._trajectory({"t1": 1000.0}, {"t1": 1300.0})
+        assert (
+            harness.check_bench_regression(
+                document, expect_improvement={"t1": 1.25}
+            )
+            == []
+        )
+
+    def test_expected_improvement_missed_fails(self):
+        document = self._trajectory({"t1": 1000.0}, {"t1": 1100.0})
+        failures = harness.check_bench_regression(
+            document, expect_improvement={"t1": 1.25}
+        )
+        assert len(failures) == 1
+        assert "expected >= 1.25x improvement, got 1.10x" in failures[0]
+
+    def test_expected_improvement_on_absent_test_fails(self):
+        document = self._trajectory({"t1": 1000.0}, {"t1": 1000.0})
+        failures = harness.check_bench_regression(
+            document, expect_improvement={"ghost": 1.5}
+        )
+        assert len(failures) == 1
+        assert failures[0].startswith("ghost:")
 
     def test_threshold_is_configurable(self):
         document = self._trajectory({"t1": 1000.0}, {"t1": 940.0})
@@ -251,6 +319,30 @@ class TestBenchRegressionCheck:
         )
         assert bad.returncode == 1
         assert "t1:" in bad.stdout
+
+    def test_cli_expect_improvement_flag(self, tmp_path):
+        import subprocess
+        import sys as _sys
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parent.parent / "scripts" / "check_bench_regression.py"
+        path = tmp_path / "BENCH_runner.json"
+        path.write_text(json.dumps(self._trajectory({"t1": 1000.0}, {"t1": 1100.0})))
+        bad = subprocess.run(
+            [_sys.executable, str(script), "--path", str(path),
+             "--expect-improvement", "t1=1.25"],
+            capture_output=True,
+            text=True,
+        )
+        assert bad.returncode == 1
+        assert "expected >= 1.25x" in bad.stdout
+        ok = subprocess.run(
+            [_sys.executable, str(script), "--path", str(path),
+             "--expect-improvement", "t1=1.05"],
+            capture_output=True,
+            text=True,
+        )
+        assert ok.returncode == 0, ok.stdout + ok.stderr
 
 
 class TestCLI:

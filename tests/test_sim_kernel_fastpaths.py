@@ -291,6 +291,99 @@ class TestComponentSpawn:
         assert process.name == "nic0.poller"
 
 
+class TestBatchedDrain:
+    def test_batch_default_is_overridable(self):
+        # The process default comes from REPRO_KERNEL_BATCH (on unless
+        # explicitly disabled), so assert relative to the initial value.
+        initial = engine.batching_enabled()
+        assert Simulator().batch is initial
+        try:
+            engine.set_batch_default(False)
+            assert not engine.batching_enabled()
+            assert not Simulator().batch
+            assert Simulator(batch=True).batch
+            engine.set_batch_default(True)
+            assert engine.batching_enabled()
+            assert Simulator().batch
+            assert not Simulator(batch=False).batch
+        finally:
+            engine.set_batch_default(initial)
+
+    def test_schedule_batch_same_tick_preserves_order(self, sim):
+        fired = []
+        count = sim.schedule_batch(0, ((fired.append, (i,)) for i in range(5)))
+        assert count == 5
+        sim.schedule(0, fired.append, 99)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4, 99]
+
+    def test_schedule_batch_delayed_interleaves_with_schedule(self, sim):
+        fired = []
+        sim.schedule(5, fired.append, "before")
+        sim.schedule_batch(5, [(fired.append, (i,)) for i in range(3)])
+        sim.schedule(5, fired.append, "after")
+        sim.schedule(3, fired.append, "earlier")
+        sim.run()
+        assert fired == ["earlier", "before", 0, 1, 2, "after"]
+        assert sim.now == 5
+
+    def test_schedule_batch_negative_delay_raises(self, sim):
+        with pytest.raises(SimulationError, match="past"):
+            sim.schedule_batch(-1, [(print, ())])
+
+    def test_schedule_batch_counts_events(self, sim):
+        assert sim.schedule_batch(0, []) == 0
+        sim.schedule_batch(2, [(lambda: None, ()) for _ in range(4)])
+        sim.run()
+        assert sim.events_fired == 4
+
+    @pytest.mark.parametrize("batch", [True, False])
+    def test_accounting_identical_across_modes(self, batch):
+        sim = Simulator(batch=batch)
+        bus = Resource(sim, "bus")
+        mailbox = Queue(sim, "mailbox")
+
+        def producer():
+            for i in range(10):
+                yield i % 3
+                mailbox.put(i)
+
+        def consumer():
+            for _ in range(10):
+                item = yield mailbox.get()
+                yield from bus.use(1 + item % 2)
+
+        sim.spawn(producer(), name="prod")
+        sim.spawn(consumer(), name="cons")
+        final = sim.run()
+        # The same workload under either drain loop fires the same
+        # events and lands on the same tick (pinned in full by
+        # tests/test_sim_determinism.py).
+        assert (final, sim.events_fired) == (15, 42)
+
+    def test_max_events_budget_respected_in_batch_mode(self):
+        sim = Simulator(batch=True)
+        fired = []
+        for index in range(4):
+            sim.schedule(0, fired.append, index)
+            sim.schedule(index + 1, fired.append, 10 + index)
+        assert sim.run(max_events=3) == 0
+        assert len(fired) == 3
+        sim.run(max_events=2)
+        assert len(fired) == 5
+        sim.run()
+        assert len(fired) == 8
+
+
+class TestNamedFlag:
+    def test_plain_simulator_skips_process_names(self):
+        assert not Simulator().named
+
+    def test_profiling_and_tracing_enable_names(self):
+        assert Simulator(profile=True).named
+        assert Simulator(trace=lambda *args: None).named
+
+
 class TestQueuePutGuards:
     def test_put_to_externally_completed_getter_raises(self, sim):
         mailbox = Queue(sim, "mailbox")

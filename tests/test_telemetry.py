@@ -200,6 +200,65 @@ class TestFaultSpanNesting:
         assert flow[5] == {"lost": True}
 
 
+class TestLossyDropVisibility:
+    """A lossy switch eating a frame must still reach the tracer —
+    otherwise Perfetto timelines undercount traffic under overflow."""
+
+    def _drive_overloaded_switch(self, tracer):
+        from repro.net.switch import Switch
+
+        sim = Simulator()
+        sim.tracer = tracer
+        switch = Switch(sim, "sw0", queue_depth=1, drop_mode="lossy")
+        outcomes = []
+
+        def sender(uid):
+            forwarded = yield from switch.forward_transit(
+                1024, "p0", tracer=tracer, uid=uid
+            )
+            outcomes.append((uid, forwarded))
+
+        for uid in range(4):
+            sim.spawn(sender(uid), name=f"s{uid}")
+        sim.run()
+        return switch, sorted(outcomes)
+
+    def test_drops_recorded_as_counter_track_and_instants(self):
+        tracer = SpanTracer()
+        switch, outcomes = self._drive_overloaded_switch(tracer)
+        dropped = [uid for uid, forwarded in outcomes if not forwarded]
+        assert len(dropped) == 3
+        assert switch.stats.get_counter("overflow_drops") == 3
+        # Counter track: one cumulative sample per drop, at the drop tick.
+        series = tracer.counters["sw0.p0.overflow_drops"]
+        assert [value for _when, value in series] == [1, 2, 3]
+        # Instant events: one per dropped frame, keyed on the packet uid.
+        drop_instants = [
+            (uid, name, category, when, args)
+            for uid, name, category, when, args in tracer.instants
+            if name == "sw0 drop"
+        ]
+        assert sorted(uid for uid, *_ in drop_instants) == dropped
+        for _uid, _name, category, _when, args in drop_instants:
+            assert category == "switch"
+            assert args == {"port": "p0"}
+
+    def test_drop_instants_reach_the_chrome_document(self):
+        tracer = SpanTracer()
+        self._drive_overloaded_switch(tracer)
+        document = chrome_trace([("lossy", tracer.to_payload())])
+        instant_events = [
+            event for event in document["traceEvents"] if event.get("ph") == "i"
+        ]
+        assert len(instant_events) == 3
+        assert all(event["name"] == "sw0 drop" for event in instant_events)
+
+    def test_drop_path_event_stream_identical_with_tracer(self):
+        untraced = self._drive_overloaded_switch(None)[1]
+        traced = self._drive_overloaded_switch(SpanTracer())[1]
+        assert traced == untraced
+
+
 class TestChromeDocument:
     def test_metadata_and_units(self):
         spec = oneway_spec()
