@@ -7,15 +7,19 @@ previous run, and exits 1 if any test fell by more than the threshold
 is nothing to regress against yet.
 
 Vanished tests (present in the previous run, missing from the newest)
-fail the gate.  ``--expect-improvement TEST=RATIO`` additionally
+fail the gate; tests new in the newest run pass (their first run seeds
+the baseline).  ``--expect-improvement TEST=RATIO`` additionally
 requires the newest run's events/sec for TEST to be at least RATIO
-times the previous run's — used to pin in claimed speedups.
+times the previous run's — used to pin in claimed speedups.  The
+``TEST=RATIO:BASELINE_TEST`` form instead compares against another
+test *within the newest run*, so a speedup can be pinned the same run
+that introduces both the fast path and its reference bench.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_bench_regression.py \
         [--path BENCH_runner.json] [--threshold 0.25] \
-        [--expect-improvement TEST=RATIO ...]
+        [--expect-improvement TEST=RATIO[:BASELINE_TEST] ...]
 """
 
 import argparse
@@ -44,21 +48,27 @@ def main(argv=None) -> int:
         "--expect-improvement",
         action="append",
         default=[],
-        metavar="TEST=RATIO",
+        metavar="TEST=RATIO[:BASELINE_TEST]",
         help=(
             "require the newest run's events/sec for TEST to be at least "
-            "RATIO times the previous run's (repeatable)"
+            "RATIO times the previous run's, or — with :BASELINE_TEST — "
+            "RATIO times BASELINE_TEST's rate in the same run (repeatable)"
         ),
     )
     args = parser.parse_args(argv)
 
     expect_improvement = {}
     for spec in args.expect_improvement:
-        test, _, ratio = spec.partition("=")
+        test, _, rest = spec.partition("=")
+        ratio_str, _, baseline = rest.partition(":")
         try:
-            expect_improvement[test] = float(ratio)
+            ratio = float(ratio_str)
         except ValueError:
-            parser.error(f"--expect-improvement wants TEST=RATIO, got {spec!r}")
+            parser.error(
+                f"--expect-improvement wants TEST=RATIO[:BASELINE_TEST], "
+                f"got {spec!r}"
+            )
+        expect_improvement[test] = (ratio, baseline) if baseline else ratio
 
     from repro.experiments.harness import check_bench_regression
 

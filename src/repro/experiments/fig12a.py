@@ -23,11 +23,16 @@ Two replay modes share the result type:
   receiver RX inside one simulator.  At zero load the two modes agree
   (pinned by the parity test); under load the fabric mode additionally
   shows the queueing the analytical mode assumes away.
+* ``mode="hybrid"`` — the fabric replay plus flow-level background
+  load: extra nodes inject ``fidelity="flow"`` uniform cross traffic
+  (:mod:`repro.flow`) whose link utilization couples into the measured
+  packets' switch-queue delay without costing a single packet event —
+  the loaded variant of the figure at unloaded-run cost.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.oneway import measure_one_way
@@ -145,6 +150,14 @@ def run(
             seed,
             mean_interarrival_ns=mean_interarrival_ns,
         )
+    if mode == "hybrid":
+        return run_hybrid(
+            params,
+            packets_per_cluster,
+            switch_latencies_ns,
+            seed,
+            mean_interarrival_ns=mean_interarrival_ns,
+        )
     if mode != "analytical":
         raise ValueError(f"unknown fig12a mode: {mode!r}")
     params = params or DEFAULT
@@ -222,6 +235,110 @@ def run_fabric(
                     scenario.delivered
                 )
     return Fig12aResult(mean_latency=mean_latency)
+
+
+def run_hybrid(
+    params: Optional[SystemParams] = None,
+    packets_per_cluster: int = PACKETS_PER_CLUSTER,
+    switch_latencies_ns: Tuple[int, ...] = SWITCH_LATENCIES_NS,
+    seed: int = 2019,
+    mean_interarrival_ns: float = 1000.0,
+    queue_depth: Optional[int] = 16,
+    background_nodes: int = 8,
+    background_load: float = 0.2,
+) -> Fig12aResult:
+    """The fabric replay under flow-level background cross traffic.
+
+    Same cells as :func:`run_fabric`, but each scenario adds
+    ``background_nodes`` extra hosts driving uniform traffic at
+    ``fidelity="flow"``, sized so each background source offers
+    ``background_load`` of a link's capacity in aggregate.  The
+    background costs O(sources) events total, so the loaded figure
+    runs at essentially unloaded-replay speed.
+    """
+    mean_latency: Dict[Tuple[ClusterKind, str, int], float] = {}
+    for cluster in ClusterKind:
+        for switch_ns in switch_latencies_ns:
+            for config in CONFIGS:
+                spec = hybrid_replay_spec(
+                    cluster,
+                    config,
+                    switch_ns,
+                    packets_per_cluster,
+                    seed=seed,
+                    mean_interarrival_ns=mean_interarrival_ns,
+                    queue_depth=queue_depth,
+                    background_nodes=background_nodes,
+                    background_load=background_load,
+                )
+                scenario = build_scenario(spec, base_params=params)
+                scenario.run()
+                total = sum(d.latency_ticks for d in scenario.delivered)
+                mean_latency[(cluster, config, switch_ns)] = total / len(
+                    scenario.delivered
+                )
+    return Fig12aResult(mean_latency=mean_latency)
+
+
+def hybrid_replay_spec(
+    cluster: ClusterKind,
+    config: str,
+    switch_ns: int,
+    packets: int,
+    seed: int = 2019,
+    mean_interarrival_ns: float = 1000.0,
+    queue_depth: Optional[int] = 16,
+    background_nodes: int = 8,
+    background_load: float = 0.2,
+) -> ScenarioSpec:
+    """One live-replay cell plus flow-fidelity background load.
+
+    The background entry is uniform traffic from auto-placed extra
+    nodes, offered at ``background_load`` × link capacity in aggregate
+    and windowed to cover the whole measured trace.
+    """
+    if not 0.0 < background_load < 1.0:
+        raise ValueError(
+            f"background_load must be in (0, 1), got {background_load}"
+        )
+    base = fabric_replay_spec(
+        cluster,
+        config,
+        switch_ns,
+        packets,
+        seed=seed,
+        mean_interarrival_ns=mean_interarrival_ns,
+        queue_depth=queue_depth,
+    )
+    network = DEFAULT.network
+    framed = network.framed_bytes(network.mtu_bytes)
+    # Aggregate offered rate = background_load x link capacity, i.e. a
+    # mean interarrival of framed / (load x capacity) ticks.
+    bg_interarrival_ns = framed / (
+        background_load * network.link_bytes_per_ps
+    ) / 1000.0
+    trace_duration_ns = packets * mean_interarrival_ns
+    bg_packets = max(1, -(-int(trace_duration_ns) // int(bg_interarrival_ns)))
+    bg_names = tuple(f"bg{i}" for i in range(background_nodes))
+    return replace(
+        base,
+        name=f"{base.name}-hybrid",
+        nodes=base.nodes
+        + tuple(NodeSpec(name=name, nic_kind=config) for name in bg_names),
+        traffic=base.traffic
+        + (
+            TrafficSpec(
+                kind="uniform",
+                packets=bg_packets,
+                size_bytes=network.mtu_bytes,
+                mean_interarrival_ns=bg_interarrival_ns,
+                src=bg_names,
+                role="background",
+                label="background",
+                fidelity="flow",
+            ),
+        ),
+    )
 
 
 def fabric_replay_spec(

@@ -690,7 +690,7 @@ def append_bench_run(
 def check_bench_regression(
     document: Dict[str, Any],
     threshold: float = 0.25,
-    expect_improvement: Optional[Dict[str, float]] = None,
+    expect_improvement: Optional[Dict[str, Any]] = None,
 ) -> List[str]:
     """Compare the newest bench run against the previous one.
 
@@ -704,11 +704,19 @@ def check_bench_regression(
     Fewer than two runs passes (a fresh trajectory has nothing to
     regress against), as do tests that are *new* in the latest run.
 
-    ``expect_improvement`` maps test name → required speedup ratio vs
-    the previous run: the newest ``events_per_sec`` must be at least
-    ``ratio`` times the previous one.  A test named in the map but
-    missing a positive rate on either side is a failure — a declared
-    speedup cannot be waved through on absent data.
+    ``expect_improvement`` maps test name → required speedup.  A plain
+    float ratio compares against the same test in the *previous* run:
+    the newest ``events_per_sec`` must be at least ``ratio`` times the
+    previous one.  A ``(ratio, baseline_test)`` tuple compares against
+    a *different test in the newest run* — how a fast-path bench pins
+    its speedup over its own slow-path twin recorded in the same
+    session.  A test named in the map but missing a positive rate in
+    the newest run is a failure, as is a missing baseline test — a
+    declared speedup cannot be waved through on absent data.  The one
+    exception: a previous-run expectation for a test that is *new* in
+    the newest run passes — its first recorded rate seeds the baseline
+    the next run will be held to — so a new benchmark can land in the
+    same change as its gate.
     """
     runs = document.get("runs") or []
     if len(runs) < 2:
@@ -740,15 +748,38 @@ def check_bench_regression(
                 f"({base_rate:.0f} -> {now_rate:.0f}, "
                 f"threshold {threshold:.0%})"
             )
-    for test, ratio in sorted((expect_improvement or {}).items()):
-        base_rate = previous.get(test)
+    for test, expectation in sorted((expect_improvement or {}).items()):
+        if isinstance(expectation, tuple):
+            ratio, baseline_test = expectation
+        else:
+            ratio, baseline_test = expectation, None
         now_rate = current.get(test)
-        if base_rate is None or now_rate is None:
-            missing = "previous" if base_rate is None else "newest"
+        if now_rate is None:
             failures.append(
                 f"{test}: expected {ratio:g}x improvement but the test has "
-                f"no rate in the {missing} run"
+                f"no rate in the newest run"
             )
+            continue
+        if baseline_test is not None:
+            base_rate = current.get(baseline_test)
+            if base_rate is None:
+                failures.append(
+                    f"{test}: expected >= {ratio:g}x vs {baseline_test}, "
+                    f"but {baseline_test} has no rate in the newest run"
+                )
+                continue
+            if now_rate < base_rate * ratio:
+                failures.append(
+                    f"{test}: expected >= {ratio:g}x vs {baseline_test}, "
+                    f"got {now_rate / base_rate:.2f}x "
+                    f"({base_rate:.0f} -> {now_rate:.0f})"
+                )
+            continue
+        base_rate = previous.get(test)
+        if base_rate is None:
+            # A test new in the newest run: nothing to improve against
+            # yet.  The rate just recorded becomes the baseline its
+            # next run is held to, so new benches land gate-first.
             continue
         if now_rate < base_rate * ratio:
             failures.append(

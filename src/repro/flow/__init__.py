@@ -1,0 +1,34 @@
+"""Flow-level (analytical) traffic modeling for hybrid-fidelity runs.
+
+Packet-level simulation pays an event per hop per packet; at thousand-
+node scale that caps scenarios long before the fabric does.  This
+package is the fast path: background traffic declared with
+``fidelity="flow"`` in a :class:`~repro.scenario.spec.TrafficSpec` is
+expanded into aggregate :class:`FlowDemand` windows instead of packets.
+A :class:`FlowSource` activates each window with two batched simulator
+events (one at the window start, one at its end), spreading the
+demand's byte rate over the ECMP paths of the live
+:class:`~repro.net.fabric.ClosFabric` into a shared
+:class:`FlowLoadMap` — per-link utilization the packet-level switches
+read back as an analytical queueing delay.  Cost is O(flows × hops)
+instead of O(packets × hops), while the packet-level hot region keeps
+its exact event sequence (at zero background load the coupling adds
+zero events — byte-identical foreground results, pinned in
+``tests/test_scenario.py``).
+
+:class:`FlowModel` is the analytical latency model for the flow-level
+traffic itself: the same per-hop serialization + switch pipeline +
+propagation math as ``fig12a``'s ``mode="analytical"`` path, plus the
+M/D/1 queueing term derived from the load map.
+"""
+
+from repro.flow.model import FlowLoadMap, FlowModel
+from repro.flow.source import FlowDemand, FlowSource, plan_flow_demands
+
+__all__ = [
+    "FlowDemand",
+    "FlowLoadMap",
+    "FlowModel",
+    "FlowSource",
+    "plan_flow_demands",
+]

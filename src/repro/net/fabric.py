@@ -150,6 +150,31 @@ class ClosFabric(Component):
         # Resource.use — identical event sequence, one fewer generator
         # frame per packet.
         self._batch = bool(sim.batch)
+        # Hybrid-fidelity coupling (repro.flow): set by
+        # enable_flow_coupling when a scenario carries flow-level
+        # traffic; None keeps the pure packet path byte-identical.
+        self.flow_load = None
+
+    def enable_flow_coupling(self):
+        """Attach a shared :class:`repro.flow.FlowLoadMap` (idempotent).
+
+        Every switch gets the map plus its own topology node name, so
+        packet-level forwards pay the analytical queueing delay of the
+        flow-level background load on their egress link; the host
+        uplink pays it in :meth:`transit`.  At zero recorded load the
+        coupling adds zero delay *and zero events* — the foreground
+        event sequence stays byte-identical to an all-packet run.
+        """
+        load = self.flow_load
+        if load is None:
+            from repro.flow.model import FlowLoadMap
+
+            load = FlowLoadMap(self.params.link_bytes_per_ps)
+            self.flow_load = load
+            for node, switch in self.switches.items():
+                switch.flow_load = load
+                switch.topo_node = node
+        return load
 
     def host_names(self) -> List[str]:
         """All attachable host names, sorted."""
@@ -162,6 +187,20 @@ class ClosFabric(Component):
             self._uplinks[host] = uplink
         return uplink
 
+    def route_paths(self, src: str, dst: str) -> List[List[str]]:
+        """All equal-cost shortest paths between two hosts, sorted.
+
+        Enumerated once per host pair and cached; both per-packet ECMP
+        hashing (:meth:`route`) and flow-level demand spreading
+        (:class:`repro.flow.FlowSource`) read the same list, so the two
+        fidelities agree on what the fabric looks like.
+        """
+        paths = self._route_cache.get((src, dst))
+        if paths is None:
+            paths = sorted(nx.all_shortest_paths(self.topology.graph, src, dst))
+            self._route_cache[(src, dst)] = paths
+        return paths
+
     def route(self, src: str, dst: str, flow_id: int = 0) -> List[str]:
         """The (deterministic) path for one flow: ECMP by flow id.
 
@@ -169,10 +208,7 @@ class ClosFabric(Component):
         and a flow hashes onto one of them, so concurrent flows spread
         over the fabric tier the way ECMP routing would.
         """
-        paths = self._route_cache.get((src, dst))
-        if paths is None:
-            paths = sorted(nx.all_shortest_paths(self.topology.graph, src, dst))
-            self._route_cache[(src, dst)] = paths
+        paths = self.route_paths(src, dst)
         return paths[flow_id % len(paths)]
 
     def hop_count(self, src: str, dst: str) -> int:
@@ -189,16 +225,14 @@ class ClosFabric(Component):
         return ticks
 
     def _transit_plan(self, src: str, dst: str, flow_id: int) -> tuple:
-        """``(first_link_label, hops)`` for one flow's ECMP path.
+        """``(first_link_label, first_hop, hops)`` for one flow's ECMP path.
 
-        ``hops`` is ``(switch, next_hop, wan_extra, link_label)`` per
-        switch on the path, with the inter-DC WAN test (both endpoints
-        edge-tier) resolved once instead of per packet.
+        ``first_hop`` is the ToR the host uplink lands on (the flow-load
+        key of the uplink); ``hops`` is ``(switch, next_hop, wan_extra,
+        link_label)`` per switch on the path, with the inter-DC WAN test
+        (both endpoints edge-tier) resolved once instead of per packet.
         """
-        paths = self._route_cache.get((src, dst))
-        if paths is None:
-            paths = sorted(nx.all_shortest_paths(self.topology.graph, src, dst))
-            self._route_cache[(src, dst)] = paths
+        paths = self.route_paths(src, dst)
         index = flow_id % len(paths)
         key = (src, dst, index)
         plan = self._hop_plans.get(key)
@@ -215,7 +249,7 @@ class ClosFabric(Component):
                 hops.append(
                     (self.switches[node], next_hop, wan_extra, f"{node}->{next_hop}")
                 )
-            plan = (f"{src}->{path[1]}", tuple(hops))
+            plan = (f"{src}->{path[1]}", path[1], tuple(hops))
             self._hop_plans[key] = plan
         return plan
 
@@ -232,13 +266,22 @@ class ClosFabric(Component):
         only learns about the loss via its retransmission timer.
         """
         start = self.now
-        first_link, hops = self._transit_plan(src, dst, packet.flow_id)
+        first_link, first_hop, hops = self._transit_plan(src, dst, packet.flow_id)
         injector = self.injector
         tracer = self.sim.tracer if packet.uid is not None else None
         delivered = True
         # Sender NIC: MAC/PHY, then the host uplink serializes departures.
         yield self.params.mac_phy_latency
         serialization = self._serialization(packet.size_bytes)
+        flow_load = self.flow_load
+        if flow_load is not None:
+            # Flow-level background load on the host uplink shows up as
+            # an analytical queue wait before the departure serializes.
+            # Zero load → zero wait → no event: the unloaded hybrid
+            # path is byte-identical to the pure packet path.
+            wait = flow_load.queue_wait((src, first_hop), serialization)
+            if wait:
+                yield wait
         if self._batch:
             # Inlined Resource.use(serialization) on the host uplink —
             # the exact acquire/yield/recycle/hold/release sequence of

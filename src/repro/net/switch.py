@@ -60,6 +60,12 @@ class Switch(Component):
         # (transfer_time of a given size never changes).
         self._batch = bool(sim.batch)
         self._serialization_cache: Dict[int, int] = {}
+        # Hybrid-fidelity coupling (repro.flow): the owning ClosFabric
+        # points every switch at the scenario's shared FlowLoadMap and
+        # its own topology node name when flow-level traffic exists.
+        # None (the default) keeps the pure packet path untouched.
+        self.flow_load = None
+        self.topo_node: Optional[str] = None
 
     def _egress(self, port: str) -> Resource:
         resource = self._egress_ports.get(port)
@@ -110,6 +116,23 @@ class Switch(Component):
         with it on or off.
         """
         start = self.now
+        flow_load = self.flow_load
+        if flow_load is not None:
+            serialization = self._serialization_cache.get(size_bytes)
+            if serialization is None:
+                serialization = transfer_time(
+                    self.params.framed_bytes(size_bytes),
+                    self.params.link_bytes_per_ps,
+                )
+                self._serialization_cache[size_bytes] = serialization
+            # Flow-level background utilization of this egress link,
+            # priced as the M/D/1 mean wait an extra frame would see.
+            # Charged at ingress (before the slot claim) like any other
+            # occupancy; zero load yields nothing, so the unloaded
+            # event sequence is byte-identical to the pure packet path.
+            wait = flow_load.queue_wait((self.topo_node, egress_port), serialization)
+            if wait:
+                yield wait
         if self.queue_depth is not None:
             if self.drop_mode == "lossy":
                 if self._occupancy.get(egress_port, 0) >= self.queue_depth:

@@ -494,16 +494,15 @@ DEFAULT = SystemParams()
 """The Table 1 configuration used by all experiments unless overridden."""
 
 
-def apply_overrides(
-    params: SystemParams, overrides: Mapping[str, object]
-) -> SystemParams:
-    """Apply nested ``{section: {field: value}}`` overrides to params.
+def validate_overrides(
+    overrides: Mapping[str, object], params: SystemParams = DEFAULT
+) -> None:
+    """Check override *names* without applying them.
 
-    A mapping value patches fields inside that parameter section; a
-    plain value replaces a top-level :class:`SystemParams` field.
-    Unknown names raise, so spec typos fail loudly.  This is the one
-    parameter-overriding mechanism: component constructors and the
-    scenario builder both route per-instance customization through it.
+    Raises ``ValueError`` on an unknown section or nested field name —
+    the same checks :func:`apply_overrides` performs, split out so the
+    scenario spec layer can reject a typo'd override at parse time
+    (when the file is loaded) instead of at build time.
     """
     for section, value in overrides.items():
         if not hasattr(params, section):
@@ -515,6 +514,24 @@ def apply_overrides(
                     raise ValueError(
                         f"unknown {section} parameter: {name!r}"
                     )
+
+
+def apply_overrides(
+    params: SystemParams, overrides: Mapping[str, object]
+) -> SystemParams:
+    """Apply nested ``{section: {field: value}}`` overrides to params.
+
+    A mapping value patches fields inside that parameter section; a
+    plain value replaces a top-level :class:`SystemParams` field.
+    Unknown names raise (via :func:`validate_overrides`), so spec typos
+    fail loudly.  This is the one parameter-overriding mechanism:
+    component constructors and the scenario builder both route
+    per-instance customization through it.
+    """
+    validate_overrides(overrides, params)
+    for section, value in overrides.items():
+        if isinstance(value, Mapping):
+            current = getattr(params, section)
             params = replace(params, **{section: replace(current, **value)})
         else:
             params = replace(params, **{section: value})

@@ -7,6 +7,14 @@ planned traffic: each packet is a flow process that runs sender TX →
 fabric transit (live switch hops) → receiver RX, with end-to-end
 latency recorded into per-flow histograms via the existing stats layer.
 
+Traffic entries declared with ``fidelity="flow"`` take the hybrid fast
+path instead: no packets, no per-hop events — a
+:class:`~repro.flow.FlowSource` injects their aggregate byte rate onto
+the clos links, which the packet-level switches price back into
+foreground latency as an analytical queueing delay.  Nodes referenced
+*only* by flow-fidelity traffic skip model construction entirely,
+which is what lets one ``Simulator`` hold a thousand-node scenario.
+
 The result is a versioned, JSON-safe artifact.  Nothing wall-clock-
 dependent enters it, so the same spec + seed always produces a
 byte-identical document — the determinism contract the scenario tests
@@ -24,6 +32,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.driver.node import FlowRecovery
 from repro.driver.registry import make_node
 from repro.faults import FaultInjector
+from repro.flow import FlowSource, plan_flow_demands
 from repro.net.fabric import ClosFabric, DirectFabric
 from repro.net.packet import Packet
 from repro.net.topology import ClosConfig, ClosTopology
@@ -46,14 +55,18 @@ __all__ = [
 ]
 
 SCENARIO_SCHEMA = "netdimm-repro/scenario-artifact"
-SCENARIO_SCHEMA_VERSION = 3
+SCENARIO_SCHEMA_VERSION = 4
 """v2 added loss accounting: per-flow-group ``recovery`` counters, a
 top-level ``packets_lost``, fault counters in ``fabric``, and ``p999``
 in every latency summary.  v3 adds ``segment_latency``: a per-segment
 latency summary (same key set as the flow summaries) over foreground
 packets, so ``diff_artifacts`` can localize a latency regression to
-the path segment that moved.  See ``docs/artifacts.md`` for the full
-schema history and compatibility rules."""
+the path segment that moved.  v4 adds ``flow_traffic``: per-group
+summaries of traffic run at ``fidelity="flow"`` (offered load,
+analytical fabric latency, peak link utilization) — empty for pure
+packet-level scenarios, whose documents are otherwise unchanged.  See
+``docs/artifacts.md`` for the full schema history and compatibility
+rules."""
 
 
 @dataclass(frozen=True)
@@ -98,8 +111,16 @@ class ScenarioResult:
     """Flow-group label → recovery counters (delivered/lost/drops/
     retransmits/timeouts).  Empty when the scenario injected no faults."""
 
+    flow_traffic: Dict[str, Dict[str, float]] = dataclass_field(
+        default_factory=dict
+    )
+    """Traffic-group label → flow-fidelity summary (schema v4): demand
+    count, offered packets/bytes, mean offered rate, analytical fabric
+    latency, and peak link utilization.  Empty for pure packet-level
+    scenarios."""
+
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-safe rendering (scenario-artifact schema v3)."""
+        """JSON-safe rendering (scenario-artifact schema v4)."""
         return {
             "name": self.name,
             "packets_delivered": self.packets_delivered,
@@ -117,6 +138,10 @@ class ScenarioResult:
             "recovery": {
                 label: dict(stats) for label, stats in self.recovery.items()
             },
+            "flow_traffic": {
+                label: dict(stats)
+                for label, stats in self.flow_traffic.items()
+            },
         }
 
     def metrics(self) -> Dict[str, float]:
@@ -131,6 +156,10 @@ class ScenarioResult:
             metrics[f"scenario.{self.name}.segment.{segment}.mean_us"] = stats[
                 "mean"
             ]
+        for label, stats in sorted(self.flow_traffic.items()):
+            prefix = f"scenario.{self.name}.flowload.{label}"
+            metrics[f"{prefix}.fabric_latency_us"] = stats["fabric_latency_us"]
+            metrics[f"{prefix}.peak_utilization"] = stats["peak_utilization"]
         return metrics
 
 
@@ -151,6 +180,14 @@ def format_report(result: ScenarioResult) -> str:
         lines.append(
             f"faults: {drops} drops, {retransmits} retransmits, "
             f"{result.packets_lost} packets lost"
+        )
+    for label, stats in sorted(result.flow_traffic.items()):
+        lines.append(
+            f"flow-level {label}: {stats['demands']:.0f} demands, "
+            f"{stats['offered_packets']:.0f} packets offered at "
+            f"{stats['mean_rate_gbps']:.2f} Gbps, peak link util "
+            f"{stats['peak_utilization']:.2f}, fabric latency "
+            f"{stats['fabric_latency_us']:.2f} us"
         )
     lines.append(
         f"{'flow':<32}{'count':>7}{'mean':>9}{'p50':>9}{'p99':>9}{'max':>9}  (us)"
@@ -195,8 +232,29 @@ class Scenario:
             if spec.faults is not None
             else None
         )
+        self.plan = plan_traffic(spec)
+        flow_entries = [
+            (index, traffic)
+            for index, traffic in enumerate(spec.traffic)
+            if traffic.fidelity == "flow"
+        ]
+        # Hybrid fast path: a node referenced only by flow-fidelity
+        # traffic never transmits or receives a packet, so its NIC /
+        # DRAM / driver models are dead weight — skip building them.
+        # (Placement below still covers every node; the flow demands
+        # need the hosts.)  Pure packet scenarios keep building every
+        # node exactly as before.
+        if flow_entries:
+            packet_nodes = {flow.src for flow in self.plan}
+            packet_nodes.update(flow.dst for flow in self.plan)
+            if spec.faults is not None:
+                packet_nodes.update(stall.node for stall in spec.faults.stalls)
+        else:
+            packet_nodes = None
         self.nodes = {}
         for node_spec in spec.nodes:
+            if packet_nodes is not None and node_spec.name not in packet_nodes:
+                continue
             node_params = apply_overrides(params, node_spec.overrides)
             node = make_node(
                 self.sim, node_spec.name, node_spec.nic_kind, node_params
@@ -207,12 +265,38 @@ class Scenario:
                     node.fault_stalls = stalls
             self.nodes[node_spec.name] = node
         self.fabric, self.placement = self._build_fabric()
-        self.plan = plan_traffic(spec)
+        self.flow_sources: List[FlowSource] = []
+        if flow_entries:
+            node_names = [node.name for node in spec.nodes]
+            grid = max(1, int(ns(spec.flow_update_interval_ns)))
+            for index, traffic in flow_entries:
+                label = traffic.label or f"t{index}.{traffic.kind}"
+                demands = plan_flow_demands(
+                    traffic, index, node_names, spec.seed, self.params.network
+                )
+                self.flow_sources.append(
+                    FlowSource(
+                        self.sim,
+                        f"flow.{label}",
+                        fabric=self.fabric,
+                        placement=self.placement,
+                        demands=demands,
+                        group=label,
+                        update_interval=grid,
+                        # Mirrors traffic._flow_base, negated: flow
+                        # spans can never collide with packet uids.
+                        uid_base=-(index + 1) * 1_000_000,
+                        on_window_done=self._flow_window_done,
+                    )
+                )
         self.delivered: List[DeliveredPacket] = []
         self.lost: List[FlowPacket] = []
         self.recovery: Dict[str, FlowRecovery] = {}
         self._remaining = 0
         self._all_done = None
+        self._flows_remaining = 0
+        self._flows_done = None
+        self._ran = False
 
     # -- construction ---------------------------------------------------------
 
@@ -393,22 +477,41 @@ class Scenario:
             body = self._measured_flow_reliable(flow, uid)
         self.sim.spawn(body, name=f"flow.{flow.group}")
 
+    def _flow_window_done(self) -> None:
+        self._flows_remaining -= 1
+        if self._flows_remaining == 0:
+            self._flows_done.set_result(None)
+
     def run(self, max_events: Optional[int] = None) -> ScenarioResult:
-        """Warm up, replay the plan, and summarize."""
-        if self.delivered:
+        """Warm up, replay the plan (and flow windows), and summarize."""
+        if self._ran:
             raise RuntimeError("scenario already ran")
+        self._ran = True
+        flow_windows = sum(len(source.demands) for source in self.flow_sources)
         if max_events is None:
-            max_events = 5_000_000 + 20_000 * len(self.plan)
+            max_events = (
+                5_000_000 + 20_000 * len(self.plan) + 100 * flow_windows
+            )
         self._warmup(max_events)
         start_tick = self.sim.now
         self._remaining = len(self.plan)
         self._all_done = self.sim.future()
+        if self.flow_sources:
+            self._flows_remaining = flow_windows
+            self._flows_done = self.sim.future()
+            for source in self.flow_sources:
+                source.install(start_tick)
         for uid, flow in enumerate(self.plan):
             self.sim.schedule_at(
                 start_tick + flow.arrival, self._launch, flow, uid
             )
         if self.plan:
             self.sim.run_until(self._all_done, max_events=max_events)
+        if self.flow_sources and self._flows_remaining > 0:
+            # Flow windows can outlive the packet plan (long background
+            # load under a short foreground burst); drain the remaining
+            # window boundaries so summaries and load accounting close.
+            self.sim.run_until(self._flows_done, max_events=max_events)
         return self._summarize()
 
     # -- results --------------------------------------------------------------
@@ -485,6 +588,12 @@ class Scenario:
             recovery={
                 label: counters.as_dict()
                 for label, counters in sorted(self.recovery.items())
+            },
+            flow_traffic={
+                source.group: source.summary()
+                for source in sorted(
+                    self.flow_sources, key=lambda source: source.group
+                )
             },
         )
 

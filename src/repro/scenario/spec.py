@@ -21,6 +21,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.driver.registry import NIC_KINDS
 from repro.faults.spec import FaultSpec
+from repro.params import validate_overrides
 from repro.workloads.traces import ClusterKind
 
 SPEC_SCHEMA = "netdimm-repro/scenario-spec"
@@ -28,6 +29,7 @@ SPEC_VERSION = 1
 
 TRAFFIC_KINDS = ("oneway", "incast", "uniform", "trace")
 TRAFFIC_ROLES = ("foreground", "background")
+TRAFFIC_FIDELITIES = ("packet", "flow")
 FABRIC_KINDS = ("direct", "clos")
 
 
@@ -54,6 +56,10 @@ class NodeSpec:
                 f"unknown NIC kind {self.nic_kind!r} "
                 f"(expected one of {NIC_KINDS})"
             )
+        # Strictness extends into the nested override block: a typo'd
+        # section or parameter name fails when the spec is parsed, not
+        # (late, or never) when the node is built.
+        validate_overrides(self.overrides)
 
 
 @dataclass(frozen=True)
@@ -123,6 +129,15 @@ class TrafficSpec:
     label: Optional[str] = None
     """Flow-group label in the results (defaults to ``t<i>.<kind>``)."""
 
+    fidelity: str = "packet"
+    """``packet`` (the default: full event-driven modeling, every hop
+    of every packet) or ``flow`` (analytical fast path: the entry
+    becomes aggregate load on the clos links via :mod:`repro.flow` —
+    O(flows × hops) instead of O(packets × hops).  Sound for background
+    load whose *effect* on the measured traffic matters, not its own
+    per-packet latency distribution; requires a clos fabric, and
+    ``trace`` entries cannot use it (their packet mix is the point)."""
+
     def __post_init__(self):
         if self.kind not in TRAFFIC_KINDS:
             raise ValueError(
@@ -133,6 +148,17 @@ class TrafficSpec:
             raise ValueError(
                 f"unknown traffic role {self.role!r} "
                 f"(expected one of {TRAFFIC_ROLES})"
+            )
+        if self.fidelity not in TRAFFIC_FIDELITIES:
+            raise ValueError(
+                f"unknown traffic fidelity {self.fidelity!r} "
+                f"(expected one of {TRAFFIC_FIDELITIES})"
+            )
+        if self.fidelity == "flow" and self.kind == "trace":
+            raise ValueError(
+                "trace traffic cannot run at flow fidelity: the "
+                "synthesized per-packet size/locality mix is what a "
+                "trace entry exists to reproduce"
             )
         if self.packets <= 0:
             raise ValueError(f"packets must be positive, got {self.packets}")
@@ -163,6 +189,12 @@ class ScenarioSpec:
     machinery is even constructed: the zero-fault event sequence is
     byte-identical to a faultless build."""
 
+    flow_update_interval_ns: float = 1000.0
+    """Grid of the coarse-tick flow-level load updates: every
+    ``fidelity="flow"`` window boundary is quantized onto this
+    interval so boundaries batch into single scheduling operations.
+    Irrelevant (and harmless) when every traffic entry is packet-level."""
+
     def __post_init__(self):
         if not self.name:
             raise ValueError("scenario needs a name")
@@ -172,6 +204,18 @@ class ScenarioSpec:
             raise ValueError("scenario needs at least one traffic spec")
         if self.warmup_packets < 0:
             raise ValueError("warmup_packets must be >= 0")
+        if self.flow_update_interval_ns <= 0:
+            raise ValueError(
+                f"flow_update_interval_ns must be positive, "
+                f"got {self.flow_update_interval_ns}"
+            )
+        if self.fabric.kind != "clos" and any(
+            traffic.fidelity == "flow" for traffic in self.traffic
+        ):
+            raise ValueError(
+                "flow-fidelity traffic needs a clos fabric: the flow "
+                "fast path injects load onto fabric links"
+            )
         names = [node.name for node in self.nodes]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate node names: {names}")

@@ -40,6 +40,12 @@ def plan_traffic(spec: ScenarioSpec) -> List[FlowPacket]:
     plan: List[FlowPacket] = []
     node_names = [node.name for node in spec.nodes]
     for index, traffic in enumerate(spec.traffic):
+        if traffic.fidelity == "flow":
+            # Flow-fidelity entries inject aggregate load (repro.flow),
+            # never packets.  They keep their enumeration slot, so the
+            # flow-id ranges and RNG streams of every packet-level
+            # entry are unchanged by re-fidelitying a neighbor.
+            continue
         rng = random.Random(spec.seed * 100003 + index)
         label = traffic.label or f"t{index}.{traffic.kind}"
         if traffic.kind == "oneway":

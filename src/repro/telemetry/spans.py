@@ -32,6 +32,7 @@ SPAN_CATEGORIES = {
     "switch": "one switch hop: queue wait or pipeline+serialization",
     "recovery": "one reliable-delivery attempt (faults/retransmission)",
     "flow": "one packet's whole journey, TX entry to RX delivery",
+    "flowload": "one flow-fidelity demand window (aggregate load, no packets)",
 }
 """Span category → meaning.  Categories are the ``cat`` field of the
 Chrome-trace events, usable as filters in the Perfetto UI."""

@@ -77,6 +77,70 @@ class TestTwoLaneWorkflow:
         assert len(failures) == 1
         assert failures[0].startswith("test_bench_dram:")
 
+    def test_new_bench_seeds_its_own_baseline(self, tmp_path):
+        """A test new in the newest run passes a plain-ratio expectation:
+        its first recorded rate becomes the baseline, so a bench can land
+        in the same change as its gate."""
+        path = tmp_path / "bench.json"
+        append_bench_run(str(path), [record(INCAST, 150_000.0)])
+        document = append_bench_run(
+            str(path),
+            [record(INCAST, 150_000.0), record("test_bench_hybrid", 900_000.0)],
+        )
+        assert (
+            check_bench_regression(
+                document, expect_improvement={"test_bench_hybrid": 2.0}
+            )
+            == []
+        )
+
+    def test_cross_test_speedup_passes_within_one_run(self, tmp_path):
+        """(ratio, baseline_test) compares two tests of the *same* run."""
+        path = tmp_path / "bench.json"
+        append_bench_run(str(path), [record(INCAST, 150_000.0)])
+        document = append_bench_run(
+            str(path),
+            [
+                record(INCAST, 150_000.0),
+                record("test_hybrid_allpacket", 300_000.0),
+                record("test_hybrid", 900_000.0),
+            ],
+        )
+        expectation = {"test_hybrid": (2.0, "test_hybrid_allpacket")}
+        assert check_bench_regression(document, expect_improvement=expectation) == []
+
+    def test_cross_test_speedup_fails_when_ratio_short(self, tmp_path):
+        path = tmp_path / "bench.json"
+        append_bench_run(str(path), [record(INCAST, 150_000.0)])
+        document = append_bench_run(
+            str(path),
+            [
+                record(INCAST, 150_000.0),
+                record("test_hybrid_allpacket", 300_000.0),
+                record("test_hybrid", 450_000.0),
+            ],
+        )
+        failures = check_bench_regression(
+            document, expect_improvement={"test_hybrid": (2.0, "test_hybrid_allpacket")}
+        )
+        assert len(failures) == 1
+        assert "test_hybrid" in failures[0]
+        assert "2x vs test_hybrid_allpacket" in failures[0]
+        assert "1.50x" in failures[0]
+
+    def test_cross_test_speedup_fails_on_missing_baseline(self, tmp_path):
+        """A declared speedup cannot pass on absent baseline data."""
+        path = tmp_path / "bench.json"
+        append_bench_run(str(path), [record(INCAST, 150_000.0)])
+        document = append_bench_run(
+            str(path), [record(INCAST, 150_000.0), record("test_hybrid", 900_000.0)]
+        )
+        failures = check_bench_regression(
+            document, expect_improvement={"test_hybrid": (2.0, "test_hybrid_allpacket")}
+        )
+        assert len(failures) == 1
+        assert "test_hybrid_allpacket has no rate" in failures[0]
+
     def test_corrupt_trajectory_is_preserved_not_overwritten(self, tmp_path):
         path = tmp_path / "bench.json"
         path.write_text("]]garbage[[")
@@ -111,6 +175,35 @@ class TestGateCLI:
         bad = self._run(path, "--expect-improvement", "no-ratio")
         assert bad.returncode == 2
         assert "TEST=RATIO" in bad.stderr
+
+    def test_cli_cross_test_expectation(self, tmp_path):
+        """TEST=RATIO:BASELINE_TEST gates two tests of the same run."""
+        path = tmp_path / "bench.json"
+        append_bench_run(str(path), [record(INCAST, 150_000.0)])
+        append_bench_run(
+            str(path),
+            [
+                record(INCAST, 150_000.0),
+                record("test_hybrid_allpacket", 300_000.0),
+                record("test_hybrid", 900_000.0),
+            ],
+        )
+        ok = self._run(
+            path, "--expect-improvement", "test_hybrid=2.0:test_hybrid_allpacket"
+        )
+        assert ok.returncode == 0, ok.stdout + ok.stderr
+        strict = self._run(
+            path, "--expect-improvement", "test_hybrid=5.0:test_hybrid_allpacket"
+        )
+        assert strict.returncode == 1
+        assert "5x vs test_hybrid_allpacket" in strict.stdout
+
+    def test_cli_rejects_malformed_cross_test_expectation(self, tmp_path):
+        path = tmp_path / "bench.json"
+        two_lane_trajectory(path, 150_000.0, 220_000.0)
+        bad = self._run(path, "--expect-improvement", "test=fast:other")
+        assert bad.returncode == 2
+        assert "TEST=RATIO[:BASELINE_TEST]" in bad.stderr
 
     def test_cli_reports_vanished_test(self, tmp_path):
         path = tmp_path / "bench.json"

@@ -384,7 +384,7 @@ class TestChaosCli:
         out = capsys.readouterr().out
         assert "faults:" in out
         document = json.loads(artifact_path.read_text())
-        assert document["schema_version"] == 3
+        assert document["schema_version"] == 4
         result = document["scenarios"]["chaos-twonode"]["result"]
         counters = result["recovery"]["oneway"]
         assert counters["delivered"] + counters["lost"] == 20

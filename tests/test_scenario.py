@@ -215,7 +215,7 @@ class TestRunnerAndCli:
         assert "scenario incast-mixed" in out
         document = json.loads(artifact_path.read_text())
         assert document["schema"] == SCENARIO_SCHEMA
-        assert document["schema_version"] == 3
+        assert document["schema_version"] == 4
         entry = document["scenarios"]["incast-mixed"]
         assert entry["spec"]["fabric"]["kind"] == "clos"
         pairs = entry["result"]["pairs"]
@@ -233,6 +233,156 @@ class TestRunnerAndCli:
     def test_cli_rejects_missing_file(self, tmp_path, capsys):
         exit_code = cli_main(["run-scenario", str(tmp_path / "ghost.json")])
         assert exit_code == 2
+
+
+def hybrid_parity_spec(bg_fidelity, bg_dst="sink", bg_mean=1e6):
+    """16 hosts: a packet-level fg stream beside a 13-way background
+    incast whose fidelity (and aim point) the hybrid tests vary."""
+    nodes = [
+        NodeSpec(name="ptx", nic_kind="netdimm"),
+        NodeSpec(name="prx", nic_kind="netdimm"),
+        NodeSpec(name="sink", nic_kind="dnic"),
+    ]
+    nodes += [NodeSpec(name=f"b{i}", nic_kind="dnic") for i in range(13)]
+    return ScenarioSpec(
+        name=f"parity-{bg_fidelity}",
+        seed=7,
+        nodes=tuple(nodes),
+        fabric=FabricSpec(
+            kind="clos", racks_per_cluster=2, hosts_per_rack=8, queue_depth=16
+        ),
+        traffic=(
+            TrafficSpec(kind="oneway", packets=24, size_bytes=512,
+                        mean_interarrival_ns=1500.0, src=("ptx",), dst="prx",
+                        label="fg"),
+            TrafficSpec(kind="incast", packets=5, size_bytes=1514,
+                        mean_interarrival_ns=bg_mean,
+                        src=tuple(f"b{i}" for i in range(13)), dst=bg_dst,
+                        label="bg", role="background", fidelity=bg_fidelity),
+        ),
+    )
+
+
+class TestHybridFidelity:
+    """The flow-level fast path: parity where load is absent, coupling
+    where it isn't, and strict spec validation around the new knobs."""
+
+    # The zero-interference foreground summary, pinned: the background
+    # incast converges on "sink" whose links the fg path never crosses,
+    # so the packet-fidelity and flow-fidelity runs must both land on
+    # exactly these bytes.
+    FG_GOLDEN = {
+        "count": 24, "mean": 1.5896375, "min": 1.58054,
+        "p50": 1.59267, "p99": 1.59267, "p999": 1.59267, "max": 1.59267,
+    }
+
+    def test_zero_load_parity_is_byte_identical(self):
+        packet = api.simulate(hybrid_parity_spec("packet"))
+        flow = api.simulate(hybrid_parity_spec("flow"))
+        assert packet.flows["fg"] == self.FG_GOLDEN
+        assert flow.flows["fg"] == self.FG_GOLDEN
+        assert json.dumps(packet.flows["fg"], sort_keys=True) == json.dumps(
+            flow.flows["fg"], sort_keys=True
+        )
+
+    def test_loaded_background_shifts_foreground_tail(self):
+        """Aim the flow-level incast at the fg receiver: its last-hop
+        link carries ~0.5 utilization, and the analytical queue wait
+        must surface in the packet-level fg tail."""
+        loaded = api.simulate(
+            hybrid_parity_spec("flow", bg_dst="prx", bg_mean=8000.0)
+        )
+        assert loaded.flows["fg"]["p99"] > self.FG_GOLDEN["p99"]
+        assert loaded.flow_traffic["bg"]["peak_utilization"] == pytest.approx(
+            0.5, abs=0.05
+        )
+
+    def test_flow_summary_round_trips_in_artifact(self):
+        result = api.simulate(hybrid_parity_spec("flow"))
+        summary = result.flow_traffic["bg"]
+        assert summary["demands"] == 13
+        assert summary["offered_packets"] == 13 * 5
+        assert summary["offered_bytes"] == 13 * 5 * 1514
+        assert summary["peak_utilization"] > 0.0
+        document = json.loads(json.dumps(result.to_dict(), sort_keys=True))
+        assert document["flow_traffic"]["bg"] == summary
+        # Pure packet scenarios keep an empty (but present) section.
+        assert api.simulate(hybrid_parity_spec("packet")).to_dict()[
+            "flow_traffic"
+        ] == {}
+
+    def test_flow_only_nodes_skip_model_construction(self):
+        scenario = build_scenario(hybrid_parity_spec("flow"))
+        assert set(scenario.nodes) == {"ptx", "prx"}
+        # Placement still covers every declared node: demands need hosts.
+        assert len(scenario.placement) == 16
+        all_packet = build_scenario(hybrid_parity_spec("packet"))
+        assert len(all_packet.nodes) == 16
+
+    def test_flow_fidelity_needs_clos_fabric(self):
+        with pytest.raises(ValueError, match="needs a clos fabric"):
+            ScenarioSpec(
+                name="bad",
+                nodes=(NodeSpec(name="a"), NodeSpec(name="b")),
+                fabric=FabricSpec(kind="direct"),
+                traffic=(TrafficSpec(kind="oneway", src=("a",), dst="b",
+                                     fidelity="flow"),),
+            )
+
+    def test_trace_traffic_cannot_be_flow_fidelity(self):
+        with pytest.raises(ValueError, match="trace traffic cannot"):
+            TrafficSpec(kind="trace", cluster="webserver", fidelity="flow")
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic fidelity"):
+            TrafficSpec(fidelity="quantum")
+
+    def test_flow_update_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="flow_update_interval_ns"):
+            ScenarioSpec(
+                name="bad",
+                nodes=(NodeSpec(name="a"), NodeSpec(name="b")),
+                fabric=FabricSpec(kind="direct"),
+                traffic=(TrafficSpec(kind="oneway", src=("a",), dst="b"),),
+                flow_update_interval_ns=0.0,
+            )
+
+
+class TestStrictNestedValidation:
+    """Typos anywhere in a spec document fail at parse time — including
+    inside nested traffic entries and node override blocks."""
+
+    def test_traffic_typo_key_rejected(self):
+        document = mixed_incast_spec().to_dict()
+        document["traffic"][0]["fidelityy"] = "flow"
+        with pytest.raises(ValueError, match="unknown TrafficSpec field.*fidelityy"):
+            ScenarioSpec.from_dict(document)
+
+    def test_node_typo_key_rejected(self):
+        document = mixed_incast_spec().to_dict()
+        document["nodes"][0]["nic_kindd"] = "dnic"
+        with pytest.raises(ValueError, match="unknown NodeSpec field.*nic_kindd"):
+            ScenarioSpec.from_dict(document)
+
+    def test_override_typo_section_rejected_at_parse(self):
+        with pytest.raises(ValueError, match="unknown SystemParams field"):
+            NodeSpec(name="x", overrides={"warp_drive": {"speed": 9}})
+
+    def test_override_typo_field_rejected_at_parse(self):
+        document = mixed_incast_spec().to_dict()
+        document["nodes"][0]["overrides"] = {"software": {"telepathy": 1}}
+        with pytest.raises(ValueError, match="unknown software parameter"):
+            ScenarioSpec.from_dict(document)
+
+    def test_valid_override_still_parses(self):
+        document = mixed_incast_spec().to_dict()
+        document["nodes"][0]["overrides"] = {
+            "software": {"rx_notification": "interrupt"}
+        }
+        spec = ScenarioSpec.from_dict(document)
+        assert spec.nodes[0].overrides["software"]["rx_notification"] == (
+            "interrupt"
+        )
 
 
 class TestFig12aParity:
@@ -263,3 +413,16 @@ class TestFig12aParity:
             - analytical.average_improvement("dnic", 25)
         )
         assert improvement_gap < 0.02
+
+    def test_hybrid_mode_prices_background_load_on_top(self):
+        """mode="hybrid" is mode="fabric" plus flow-level background:
+        every cell's mean latency moves up (the analytical queue wait),
+        and only modestly (20% offered load, spread over ECMP)."""
+        kwargs = dict(self.KWARGS, packets_per_cluster=40)
+        fabric = fig12a.run(mode="fabric", **kwargs)
+        hybrid = fig12a.run(mode="hybrid", **kwargs)
+        for cluster in ClusterKind:
+            for config in fig12a.CONFIGS:
+                key = (cluster, config, 25)
+                assert hybrid.mean_latency[key] > fabric.mean_latency[key], key
+                assert hybrid.mean_latency[key] < 1.05 * fabric.mean_latency[key], key

@@ -337,6 +337,31 @@ class TestBatchedDrain:
         sim.run()
         assert sim.events_fired == 4
 
+    def test_schedule_batch_at_absolute_tick(self, sim):
+        fired = []
+        sim.schedule(10, lambda: None)
+        sim.run()
+        assert sim.now == 10
+        count = sim.schedule_batch_at(
+            25, [(fired.append, (i,)) for i in range(3)]
+        )
+        assert count == 3
+        sim.run()
+        assert fired == [0, 1, 2]
+        assert sim.now == 25
+
+    def test_schedule_batch_at_current_tick_allowed(self, sim):
+        fired = []
+        sim.schedule_batch_at(0, [(fired.append, ("now",))])
+        sim.run()
+        assert fired == ["now"]
+
+    def test_schedule_batch_at_past_tick_raises(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError, match="past"):
+            sim.schedule_batch_at(5, [(print, ())])
+
     @pytest.mark.parametrize("batch", [True, False])
     def test_accounting_identical_across_modes(self, batch):
         sim = Simulator(batch=batch)
