@@ -51,7 +51,9 @@ def record_golden_event_order() -> pathlib.Path:
 def record_fig5_baseline() -> pathlib.Path:
     from repro.experiments import harness
 
-    run = harness.run_experiments(["fig5"], jobs=1)
+    from repro.runtime import SweepConfig
+
+    run = harness.run_experiments(["fig5"], config=SweepConfig())
     out = DATA_DIR / "fig5_baseline.json"
     run.write_artifact(str(out))
     print(f"wrote fig5 artifact -> {out}")

@@ -32,6 +32,27 @@ Commands
     a seeded :class:`~repro.faults.FaultSpec` (assembled from the flags,
     or the spec file's own ``faults`` section when no fault flag is
     given), with driver-level retransmission recovering losses.
+``sweep TARGET [...] [--backend B] [--jobs N] [--workers N]
+[--run-dir DIR] [--json PATH] [--base-seed N] [--allow-partial]``
+    The job-oriented front door (:func:`repro.api.submit`): run
+    experiment names and/or scenario spec files as a sharded sweep on
+    a named backend — ``local`` (inline), ``pool`` (process pool), or
+    ``workers`` (detached worker processes over a shared, resumable
+    run directory; point extra machines at the same directory on a
+    shared filesystem to distribute).  ``--run-dir`` checkpoints every
+    shard and writes a provenance manifest; ``--json`` writes the
+    deterministic sweep artifact (byte-identical across backends).
+``resume RUNDIR [--backend B ...] [--json PATH] [--retry-failed]``
+    Pick a killed or interrupted sweep back up: stale claims re-enter
+    the queue, pending shards re-execute, and the artifact comes out
+    byte-identical to an uninterrupted run.
+``status RUNDIR``
+    One line of shard counts for a run directory (live — works while
+    workers are executing elsewhere).
+``sweep-worker RUNDIR [--max-tasks N]``
+    Drain a run directory's task queue in this process.  What the
+    ``workers`` backend spawns; also the thing you start by hand on
+    another machine to join a sweep.
 ``targets``
     Print the paper-target registry with bands.
 
@@ -188,6 +209,78 @@ def _build_parser() -> argparse.ArgumentParser:
         help="retransmit budget before a packet is declared lost",
     )
 
+    sweep = commands.add_parser(
+        "sweep",
+        help="run experiments/scenarios as a sharded sweep on a backend",
+    )
+    sweep.add_argument(
+        "targets",
+        nargs="+",
+        metavar="TARGET",
+        help="experiment names and/or scenario spec JSON files",
+    )
+    sweep.add_argument(
+        "--backend",
+        choices=sorted(api.BACKENDS),
+        default="local",
+        help="execution backend (workers = resumable/distributed)",
+    )
+    sweep.add_argument(
+        "--jobs", type=api.positive_int, default=1, metavar="N",
+        help="process-pool width (pool backend)",
+    )
+    sweep.add_argument(
+        "--workers", type=api.positive_int, default=2, metavar="N",
+        help="worker-process count (workers backend)",
+    )
+    sweep.add_argument(
+        "--run-dir", metavar="DIR",
+        help="checkpoint shards here (required for --backend workers)",
+    )
+    sweep.add_argument(
+        "--base-seed", type=int, default=0, metavar="N",
+        help="base seed for per-shard seed derivation",
+    )
+    sweep.add_argument(
+        "--json", dest="json_path", metavar="PATH",
+        help="write the sweep artifact to PATH",
+    )
+    sweep.add_argument(
+        "--allow-partial", action="store_true",
+        help="assemble surviving shards even if some failed",
+    )
+
+    resume = commands.add_parser(
+        "resume", help="resume an interrupted sweep from its run directory"
+    )
+    resume.add_argument("run_dir", metavar="RUNDIR")
+    resume.add_argument(
+        "--backend", choices=sorted(api.BACKENDS), default="local"
+    )
+    resume.add_argument("--jobs", type=api.positive_int, default=1, metavar="N")
+    resume.add_argument(
+        "--workers", type=api.positive_int, default=2, metavar="N"
+    )
+    resume.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-enqueue failed shards as well",
+    )
+    resume.add_argument("--json", dest="json_path", metavar="PATH")
+    resume.add_argument("--allow-partial", action="store_true")
+
+    status = commands.add_parser(
+        "status", help="show shard counts for a sweep run directory"
+    )
+    status.add_argument("run_dir", metavar="RUNDIR")
+
+    worker = commands.add_parser(
+        "sweep-worker", help="drain one sweep run directory's task queue"
+    )
+    worker.add_argument("run_dir", metavar="RUNDIR")
+    worker.add_argument(
+        "--max-tasks", type=api.positive_int, default=None, metavar="N"
+    )
+
     commands.add_parser("targets", help="print the paper-target registry")
     return parser
 
@@ -231,6 +324,49 @@ def _cmd_trace_spec(spec_path: str, out: str) -> str:
     with open(out, "w", encoding="utf-8") as handle:
         handle.write(rendered)
     return api.format_report(result) + f"\nwrote trace: {out}"
+
+
+def _describe_job(job) -> List[str]:
+    """Shard-count summary plus structured diagnostics for failures."""
+    status = job.status()
+    line = (
+        f"sweep {status['state']}: {status['done']}/{status['total']} "
+        f"shard(s) done"
+    )
+    if status["failed"]:
+        line += f", {status['failed']} failed"
+    lines = [line]
+    lines.extend(f"  {failure.summary()}" for failure in job.failures())
+    return lines
+
+
+def _finish_job(job, json_path: str, allow_partial: bool) -> tuple:
+    """Common tail of ``sweep`` and ``resume``: report, emit, exit code."""
+    lines = _describe_job(job)
+    if json_path:
+        job.artifact(json_path, allow_partial=allow_partial)
+        lines.append(f"wrote artifact: {json_path}")
+        if job.config.run_dir:
+            lines.append(
+                f"wrote manifest: {job.config.run_dir}/manifest.json"
+            )
+        else:
+            lines.append(f"wrote manifest: {json_path}.manifest.json")
+    return "\n".join(lines), 1 if job.failures() else 0
+
+
+def _cmd_status(run_dir: str) -> str:
+    state = api.RunState.load(run_dir)
+    counts = state.counts()
+    extra = ""
+    manifest = state.read_manifest()
+    if manifest is not None:
+        extra = f"  [manifest: {manifest['run']['status']}]"
+    return (
+        f"{run_dir}: {counts['done']}/{counts['total']} done, "
+        f"{counts['failed']} failed, {counts['claimed']} claimed, "
+        f"{counts['queued']} queued{extra}"
+    )
 
 
 def _cmd_targets() -> str:
@@ -315,6 +451,58 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (OSError, ValueError) as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    elif args.command == "sweep":
+        try:
+            job = api.submit(
+                args.targets,
+                backend=args.backend,
+                jobs=args.jobs,
+                workers=args.workers,
+                run_dir=args.run_dir,
+                base_seed=args.base_seed,
+            )
+            job.run()
+            output, exit_code = _finish_job(
+                job, args.json_path or "", args.allow_partial
+            )
+        except api.JobError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except (OSError, ValueError, RuntimeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.command == "resume":
+        try:
+            job = api.resume(
+                args.run_dir,
+                config=api.SweepConfig(
+                    backend=args.backend,
+                    jobs=args.jobs,
+                    workers=args.workers,
+                    run_dir=args.run_dir,
+                ),
+                retry_failed=args.retry_failed,
+            )
+            output, exit_code = _finish_job(
+                job, args.json_path or "", args.allow_partial
+            )
+        except api.JobError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except (OSError, ValueError, RuntimeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.command == "status":
+        try:
+            output = _cmd_status(args.run_dir)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    elif args.command == "sweep-worker":
+        argv_tail = [args.run_dir]
+        if args.max_tasks is not None:
+            argv_tail += ["--max-tasks", str(args.max_tasks)]
+        return api.sweep_worker_main(argv_tail)
     else:  # targets
         output = _cmd_targets()
     try:

@@ -53,7 +53,9 @@ class ArtifactCheck:
         return self.target.check(self.measured)
 
 
-def check_artifact(artifact: Dict[str, Any]) -> List[ArtifactCheck]:
+def check_artifact(
+    artifact: Dict[str, Any], allow_partial: bool = False
+) -> List[ArtifactCheck]:
     """Re-run every applicable paper-target check on a loaded artifact.
 
     Experiments publish scalar ``metrics`` named after this registry
@@ -61,7 +63,23 @@ def check_artifact(artifact: Dict[str, Any]) -> List[ArtifactCheck]:
     does not need the result objects — a JSON artifact from a previous
     run (or another machine) is enough.  Returns one check per metric
     whose name appears in :data:`PAPER_TARGETS`, in artifact order.
+
+    An artifact carrying a ``failures`` section (a partial sweep whose
+    failed shards were explicitly allowed at assembly) is refused with
+    :class:`ValueError` unless ``allow_partial``: paper-target checks
+    over missing experiments would pass vacuously.
     """
+    failures = artifact.get("failures") or []
+    if failures and not allow_partial:
+        shards = ", ".join(
+            f"{entry.get('task_id', '?')} ({entry.get('exception_type', '?')})"
+            for entry in failures
+        )
+        raise ValueError(
+            f"artifact is partial — {len(failures)} shard(s) failed: "
+            f"{shards}; pass allow_partial to check the surviving "
+            "experiments anyway"
+        )
     checks: List[ArtifactCheck] = []
     for experiment, entry in artifact.get("experiments", {}).items():
         for metric, measured in entry.get("metrics", {}).items():

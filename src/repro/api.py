@@ -1,6 +1,6 @@
 """The unified public facade — the one import the toolkit asks you for.
 
-Everything a user (or the CLI) does goes through five verbs::
+Everything a user (or the CLI) does goes through a handful of verbs::
 
     from repro import api
 
@@ -8,22 +8,28 @@ Everything a user (or the CLI) does goes through five verbs::
     result = api.simulate(spec)
     print(api.format_report(result))
 
-    run = api.run_experiment(["fig4", "table1"], jobs=2)
-    print(api.format_report(run))
+    job = api.submit(["fig4", "table1"], backend="pool", jobs=2)
+    artifact = job.result()
 
-    diff = api.diff_artifacts(api.load_artifact("old.json"), run.to_artifact())
+    diff = api.diff_artifacts(api.load_artifact("old.json"), artifact)
 
 * :func:`load_spec` — a scenario spec from a JSON file or mapping.
 * :func:`simulate` — one spec → one :class:`ScenarioResult`, optionally
   under a :class:`FaultSpec` (chaos mode).
-* :func:`run_experiment` — the paper's tables/figures via the parallel
-  harness; returns a :class:`HarnessRun`.
+* :func:`submit` — experiments *or* scenario specs as a
+  :class:`~repro.runtime.Job` on a named backend (``"local"``,
+  ``"pool"``, ``"workers"``); ``Job.status()`` / ``Job.result()`` /
+  ``Job.artifact()`` drive it, :func:`collect` gathers many, and
+  :func:`resume` picks a killed sweep back up from its run directory.
+* :func:`run_experiment` — the classic convenience wrapper around the
+  experiment harness; returns a :class:`HarnessRun` (its ``jobs=N``
+  form is deprecated in favour of :func:`submit`).
 * :func:`diff_artifacts` — compare two experiment artifacts
   metric-by-metric against the paper-target bands.
 * :func:`format_report` — the human-readable report for either result
   kind.
 
-A sixth verb, :func:`trace_scenario`, is :func:`simulate` with the
+Another verb, :func:`trace_scenario`, is :func:`simulate` with the
 per-packet span tracer attached: it returns the result *and* a
 Chrome-trace/Perfetto JSON document of every packet's timeline (see
 ``docs/observability.md``)::
@@ -39,6 +45,11 @@ wire, one measured packet):
 >>> api.simulate(spec).packets_delivered
 1
 
+And the job surface in one line (an inline experiment sweep):
+
+>>> api.submit("table1").result()["run"]["experiments"]
+['table1']
+
 The deeper modules remain importable (this facade is a thin veneer, not
 a wall), but the old convenience entry points
 (``repro.scenario.run_scenario`` and friends) now emit
@@ -48,6 +59,7 @@ a wall), but the old convenience entry points
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, List, Mapping, Optional, Sequence, Union
 
 from repro.analysis.targets import PAPER_TARGETS
@@ -57,6 +69,8 @@ from repro.experiments.harness import (
     HarnessRun,
     append_bench_run,
     check_bench_regression,
+    reject_partial_artifact,
+    submit_experiments,
 )
 from repro.experiments.harness import diff_artifacts as _diff_artifacts
 from repro.experiments.harness import load_artifact
@@ -86,6 +100,20 @@ from repro.scenario.builder import (
     scenario_artifact,
 )
 from repro.scenario.builder import format_report as _format_scenario_report
+from repro.runtime import (
+    BACKENDS,
+    Job,
+    JobError,
+    LocalBackend,
+    ProcessPoolBackend,
+    RunState,
+    SweepConfig,
+    WorkerPoolBackend,
+)
+from repro.runtime import collect as _collect
+from repro.runtime import derive as derive_seed
+from repro.runtime import resume as _resume
+from repro.runtime.worker import main as sweep_worker_main
 from repro.scenario.runner import (
     build_fault_overlay,
     parse_kill,
@@ -93,6 +121,7 @@ from repro.scenario.runner import (
     run_chaos_files,
     run_scenario_files,
     run_traced,
+    submit_scenarios,
 )
 from repro.scenario.runner import run_cli as run_scenario_cli
 from repro.scenario.spec import FabricSpec, NodeSpec, ScenarioSpec, TrafficSpec
@@ -100,6 +129,7 @@ from repro.telemetry import (
     SpanTracer,
     chrome_trace,
     dump_trace,
+    runtime_trace,
     segment_totals,
 )
 from repro.workloads.trace_io import save_trace
@@ -110,14 +140,32 @@ __all__ = [
     "load_spec",
     "simulate",
     "trace_scenario",
+    "submit",
+    "collect",
+    "resume",
     "run_experiment",
     "diff_artifacts",
     "format_report",
+    # the sweep runtime
+    "BACKENDS",
+    "Job",
+    "JobError",
+    "LocalBackend",
+    "ProcessPoolBackend",
+    "WorkerPoolBackend",
+    "RunState",
+    "SweepConfig",
+    "derive_seed",
+    "reject_partial_artifact",
+    "submit_experiments",
+    "submit_scenarios",
+    "sweep_worker_main",
     # telemetry
     "SpanTracer",
     "chrome_trace",
     "dump_trace",
     "run_traced",
+    "runtime_trace",
     "segment_totals",
     # scenario toolkit
     "FabricSpec",
@@ -214,22 +262,132 @@ def trace_scenario(
     return result, chrome_trace([(spec.name, tracer.to_payload())])
 
 
+def submit(
+    spec_or_experiment: Any,
+    backend: str = "local",
+    *,
+    jobs: int = 1,
+    workers: int = 2,
+    run_dir: Optional[str] = None,
+    base_seed: int = 0,
+    chaos: bool = False,
+    faults: Optional[FaultSpec] = None,
+) -> Job:
+    """Submit experiments or scenarios as a :class:`Job` on a backend.
+
+    ``spec_or_experiment`` is an experiment name (or list of names, or
+    ``None``/``"all"`` for every experiment), a scenario spec file path
+    (or list of paths), or a :class:`ScenarioSpec` (or list of specs).
+    ``backend`` selects by name: ``"local"`` (inline), ``"pool"``
+    (``jobs`` processes), ``"workers"`` (``workers`` detached worker
+    processes over ``run_dir`` — the resumable, distributable path).
+
+    The returned job has not run yet: ``job.run()`` executes it,
+    ``job.status()`` reports shard counts, ``job.result()`` assembles
+    the artifact (refusing partial runs unless asked), and
+    ``job.manifest()`` is the provenance sidecar.
+    """
+    config = SweepConfig(
+        backend=backend, jobs=jobs, workers=workers, run_dir=run_dir
+    )
+    items = (
+        list(spec_or_experiment)
+        if isinstance(spec_or_experiment, (list, tuple))
+        else [spec_or_experiment]
+    )
+    if spec_or_experiment is None or all(
+        isinstance(item, str) and (item in EXPERIMENTS or item == "all")
+        for item in items
+    ):
+        names = None if spec_or_experiment is None else items
+        if chaos or faults is not None:
+            raise ValueError("chaos/faults only apply to scenario submissions")
+        return submit_experiments(names, config=config, base_seed=base_seed)
+    if all(isinstance(item, (str, ScenarioSpec)) for item in items):
+        unknown = [
+            item
+            for item in items
+            if isinstance(item, str) and not item.endswith(".json")
+        ]
+        if unknown:
+            raise ValueError(
+                f"{unknown[0]!r} is neither a known experiment "
+                f"({', '.join(sorted(EXPERIMENTS))}) nor a scenario "
+                "spec file (*.json)"
+            )
+        # A fault overlay implies a chaos run, same as run_traced.
+        return submit_scenarios(
+            items,
+            config=config,
+            chaos=chaos or faults is not None,
+            faults=faults,
+        )
+    raise ValueError(
+        "submit() takes experiment names, scenario spec paths, or "
+        "ScenarioSpec objects (not a mixture)"
+    )
+
+
+def collect(
+    jobs: Sequence[Job], allow_partial: bool = False
+) -> List[Mapping[str, Any]]:
+    """Run every job and return their artifact documents, in order."""
+    return _collect(jobs, allow_partial=allow_partial)
+
+
+def resume(
+    run_dir: str,
+    config: Optional[SweepConfig] = None,
+    retry_failed: bool = False,
+) -> Job:
+    """Resume an interrupted sweep from its run directory.
+
+    Stale claims (shards a killed worker held) are re-enqueued and
+    everything pending re-executes; the completed job's artifact is
+    byte-identical to an uninterrupted run's.
+    """
+    return _resume(run_dir, config=config, retry_failed=retry_failed)
+
+
+_JOBS_UNSET: Any = object()
+
+
 def run_experiment(
-    names: Optional[Sequence[str]] = None, jobs: int = 1
+    names: Optional[Sequence[str]] = None, jobs: Any = _JOBS_UNSET
 ) -> HarnessRun:
-    """Run the paper's experiments (all when ``names`` is None)."""
-    return _run_experiments(names, jobs=jobs)
+    """Run the paper's experiments (all when ``names`` is None).
+
+    A thin wrapper over the harness.  The ``jobs=N`` form is deprecated
+    — use :func:`submit` (or ``run_experiments(config=SweepConfig(...))``)
+    for parallel and distributed runs.
+    """
+    if jobs is _JOBS_UNSET:
+        return _run_experiments(names, config=SweepConfig())
+    warnings.warn(
+        "run_experiment(jobs=N) is deprecated; use "
+        "api.submit(names, backend='pool', jobs=N) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    if not isinstance(jobs, int) or jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return _run_experiments(
+        names,
+        config=SweepConfig(backend="pool" if jobs > 1 else "local", jobs=jobs),
+    )
 
 
 def diff_artifacts(
     current: Mapping[str, Any],
     baseline: Mapping[str, Any],
     tolerance: float = 0.0,
+    allow_partial: bool = False,
 ) -> ArtifactDiff:
     """Metric-by-metric comparison of two experiment artifacts
     (:func:`repro.experiments.harness.diff_artifacts` argument order:
-    current first, baseline second)."""
-    return _diff_artifacts(current, baseline, tolerance)
+    current first, baseline second).  Artifacts carrying shard
+    failures are refused unless ``allow_partial``."""
+    return _diff_artifacts(current, baseline, tolerance, allow_partial)
 
 
 def format_report(result: Union[ScenarioResult, HarnessRun]) -> str:

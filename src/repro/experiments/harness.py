@@ -4,9 +4,12 @@ The plain :mod:`repro.experiments.runner` walks the registry serially
 and prints free text.  This layer turns an experiment run into a
 *measured, parallelizable, diffable* object:
 
-* experiments fan out over a :class:`concurrent.futures.ProcessPoolExecutor`
-  (``jobs > 1``) or run inline (``jobs == 1`` — the debuggable CI
-  fallback);
+* experiments execute as :mod:`repro.runtime` task shards, fanned over
+  any of its backends — inline (``SweepConfig()``, the debuggable CI
+  fallback), a process pool (``SweepConfig(backend="pool", jobs=N)``),
+  or a detached worker pool over a shared run directory
+  (``backend="workers"``, which is also the resumable/distributed
+  path);
 * the sweep-heavy experiments (``fig5``, ``fig11``, ``fig12a``,
   ``loaded_latency``) additionally shard *inside* the experiment, one
   task per sweep point, and are merged back into the exact result
@@ -14,7 +17,9 @@ and prints free text.  This layer turns an experiment run into a
 * every experiment gets run metadata — wall-clock seconds, simulator
   events fired (via :func:`repro.sim.engine.process_events_total`),
   events/sec — kept in a ``timing`` section *separate* from results so
-  artifacts stay byte-for-byte comparable across machines;
+  artifacts stay byte-for-byte comparable across machines (the
+  job-assembled sweep artifact goes further and keeps timing out of
+  the artifact entirely — it lives in the provenance manifest);
 * the whole run serializes to a versioned JSON artifact
   (:data:`SCHEMA_VERSION`), and two artifacts diff with
   :func:`diff_artifacts`, flagging paper-target regressions.
@@ -22,13 +27,18 @@ and prints free text.  This layer turns an experiment run into a
 Determinism is the contract: each task builds its own
 :class:`~repro.sim.Simulator` (the seq-ordered event heap makes a
 single simulation deterministic), tasks share no state, and merge
-order is the submission order — so a ``--jobs 4`` run's per-experiment
-results are byte-for-byte identical to ``--jobs 1``.
+order is the task-index order — so any backend's per-experiment
+results are byte-for-byte identical to the serial run's.
+
+The old ``run_experiments(names, jobs=N)`` signature still works but
+emits a :class:`DeprecationWarning`; the canonical spelling is
+``run_experiments(names, config=SweepConfig(backend="pool", jobs=N))``
+or, for the full job surface (status, resumable run directories,
+provenance manifests), :func:`submit_experiments` → :class:`Job`.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
 import hashlib
 import json
 import os
@@ -44,8 +54,15 @@ from repro.experiments.oneway import measure_one_way
 from repro.experiments.runner import EXPERIMENTS, normalize_names
 from repro.net.topology import ClosTopology
 from repro.params import DEFAULT
+from repro.runtime.backends import SweepConfig, make_backend
+from repro.runtime.job import Job, register_assembler
+from repro.runtime.tasks import (
+    ShardResult,
+    Task,
+    execute,
+    register_kind,
+)
 from repro.scenario.builder import SCENARIO_SCHEMA, SCENARIO_SCHEMA_VERSION
-from repro.sim import engine
 from repro.units import ns
 from repro.workloads.traces import TraceGenerator
 
@@ -237,36 +254,29 @@ def _sharded_experiments() -> Dict[str, ShardedExperiment]:
 
 
 # ---------------------------------------------------------------------------
-# Task execution.
+# Task execution: the "experiment" runtime kind.
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
-class _TaskOutcome:
-    """One executed task: the payload plus its run metadata."""
+def _experiment_executor(args: Dict[str, Any]) -> Any:
+    """Run one experiment task (whole experiment or one sweep shard).
 
-    name: str
-    shard: Optional[int]
-    payload: Any
-    wall_seconds: float
-    events_fired: int
-
-
-def _execute_task(task: Tuple[str, Optional[int]]) -> _TaskOutcome:
-    """Run one task (whole experiment or one shard) in this process."""
-    name, shard = task
-    events_before = engine.process_events_total()
-    start = time.perf_counter()
+    The executor for the ``"experiment"`` runtime kind: metering,
+    failure capture, and checkpointing are the runtime's job
+    (:func:`repro.runtime.tasks.execute`); this only maps JSON args
+    onto experiment code.
+    """
+    name = args["name"]
+    shard = args.get("shard")
     if shard is None:
         run, _format = EXPERIMENTS[name]
-        payload = run()
-    else:
-        payload = _sharded_experiments()[name].run_shard(shard)
-    wall = time.perf_counter() - start
-    events = engine.process_events_total() - events_before
-    return _TaskOutcome(
-        name=name, shard=shard, payload=payload, wall_seconds=wall, events_fired=events
-    )
+        return run()
+    return _sharded_experiments()[name].run_shard(int(shard))
+
+
+def _task_experiment_name(task_id: str) -> str:
+    """``"fig5[3]"`` → ``"fig5"``; unsharded ids pass through."""
+    return task_id.partition("[")[0]
 
 
 # ---------------------------------------------------------------------------
@@ -363,75 +373,203 @@ class HarnessRun:
         return artifact
 
 
-def _plan_tasks(
-    names: Sequence[str],
-) -> List[Tuple[str, Optional[int]]]:
-    """Expand experiment names into the task list, sharding sweeps."""
+def plan_tasks(
+    names: Sequence[str], base_seed: int = 0
+) -> List[Task]:
+    """Expand experiment names into runtime tasks, sharding sweeps.
+
+    Task ids name the sweep point (``"fig5[3]"``) — they are the seed
+    param ids and the merge keys — and task index order is merge order.
+    """
     sharded = _sharded_experiments()
-    tasks: List[Tuple[str, Optional[int]]] = []
+    tasks: List[Task] = []
     for name in names:
         if name in sharded:
-            tasks.extend(
-                (name, index) for index in range(sharded[name].shard_count())
-            )
+            for shard in range(sharded[name].shard_count()):
+                tasks.append(
+                    Task(
+                        kind="experiment",
+                        task_id=f"{name}[{shard}]",
+                        args={"name": name, "shard": shard},
+                        index=len(tasks),
+                        base_seed=base_seed,
+                    )
+                )
         else:
-            tasks.append((name, None))
+            tasks.append(
+                Task(
+                    kind="experiment",
+                    task_id=name,
+                    args={"name": name, "shard": None},
+                    index=len(tasks),
+                    base_seed=base_seed,
+                )
+            )
     return tasks
+
+
+def submit_experiments(
+    names: Optional[Sequence[str]] = None,
+    config: Optional[SweepConfig] = None,
+    base_seed: int = 0,
+) -> Job:
+    """The named experiments as a runtime :class:`Job` (not yet run).
+
+    The job-oriented front door: ``submit_experiments(...).run()``
+    executes on the configured backend, ``.result()`` assembles the
+    deterministic sweep artifact, ``.manifest()`` the provenance
+    sidecar.  :func:`run_experiments` remains the convenience wrapper
+    returning a :class:`HarnessRun`.
+    """
+    names = normalize_names(names)
+    return Job(
+        kind="experiment",
+        meta={"names": list(names), "base_seed": base_seed},
+        tasks=plan_tasks(names, base_seed),
+        config=config,
+    )
+
+
+def _records_from(
+    names: Sequence[str], results: Sequence[ShardResult]
+) -> Dict[str, ExperimentRun]:
+    """Merge per-shard results (in task-index order) into run records."""
+    sharded = _sharded_experiments()
+    grouped: Dict[str, List[ShardResult]] = {}
+    for result in results:
+        grouped.setdefault(_task_experiment_name(result.task_id), []).append(
+            result
+        )
+    records: Dict[str, ExperimentRun] = {}
+    for name in names:
+        mine = grouped.get(name, [])
+        if not mine:
+            raise ValueError(f"no shard results for experiment {name!r}")
+        payloads = [shard.payload for shard in mine]
+        if name in sharded:
+            merged = sharded[name].merge(payloads)
+        else:
+            merged = payloads[0]
+        _run, format_report = EXPERIMENTS[name]
+        records[name] = ExperimentRun(
+            name=name,
+            result=merged,
+            report=format_report(merged),
+            wall_seconds=sum(shard.wall_seconds for shard in mine),
+            events_fired=sum(shard.events_fired for shard in mine),
+            shards=len(mine),
+        )
+    return records
+
+
+def _experiment_assembler(
+    meta: Dict[str, Any], results: List[ShardResult]
+) -> Dict[str, Any]:
+    """Assemble the deterministic sweep artifact from shard results.
+
+    Same schema as :meth:`HarnessRun.to_artifact`, minus the ``timing``
+    section: wall-clock and event-rate metadata are provenance, and
+    live in the run's manifest sidecar instead — which is what makes
+    serial, pooled, and distributed sweep artifacts byte-identical.
+    """
+    names = meta["names"]
+    records = _records_from(names, results)
+    experiments: Dict[str, Any] = {}
+    for name in names:
+        record = records[name]
+        merged = record.result
+        experiments[name] = {
+            "result": merged.to_dict() if hasattr(merged, "to_dict") else None,
+            "metrics": merged.metrics() if hasattr(merged, "metrics") else {},
+            "report_sha256": hashlib.sha256(
+                record.report.encode("utf-8")
+            ).hexdigest(),
+        }
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "run": {
+            "experiments": list(names),
+            "base_seed": meta.get("base_seed", 0),
+        },
+        "experiments": experiments,
+    }
+
+
+register_kind("experiment", _experiment_executor)
+register_assembler("experiment", _experiment_assembler)
 
 
 def run_experiments(
     names: Optional[Sequence[str]] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = None,
     executor_factory: Optional[Callable[[int], Any]] = None,
+    *,
+    config: Optional[SweepConfig] = None,
 ) -> HarnessRun:
-    """Run the named experiments (all by default) across ``jobs`` workers.
+    """Run the named experiments (all by default); returns a HarnessRun.
 
-    ``jobs == 1`` executes every task inline (no subprocesses — the
-    debuggable fallback); ``jobs > 1`` fans tasks out over a process
-    pool.  Either way, per-experiment results are identical: tasks are
-    deterministic and merged in submission order.
+    The canonical configuration is the keyword-only ``config``
+    (:class:`~repro.runtime.backends.SweepConfig`): ``SweepConfig()``
+    executes every task inline (no subprocesses — the debuggable
+    fallback); ``SweepConfig(backend="pool", jobs=N)`` fans tasks over
+    a process pool; ``SweepConfig(backend="workers", ...)`` runs the
+    distributed worker pool.  Any backend produces identical
+    per-experiment results: tasks are deterministic and merged in
+    task-index order.
 
-    Raises :class:`ValueError` for unknown experiment names or a
-    non-positive ``jobs``.
+    ``jobs=N`` / ``executor_factory=`` are the pre-runtime spelling;
+    they still work but emit :class:`DeprecationWarning`.
+
+    Raises :class:`ValueError` for unknown experiment names, a
+    non-positive ``jobs``, or a shard failure (the job surface —
+    :func:`submit_experiments` — instead records failures as
+    structured diagnostics).
     """
-    if jobs < 1:
-        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    if jobs is not None or executor_factory is not None:
+        if config is not None:
+            raise ValueError(
+                "pass config=SweepConfig(...) or the legacy "
+                "jobs=/executor_factory=, not both"
+            )
+        warnings.warn(
+            "run_experiments(jobs=..., executor_factory=...) is deprecated; "
+            "pass config=SweepConfig(backend='pool', jobs=N) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if jobs is None:
+            jobs = 1
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        config = SweepConfig(
+            backend="pool" if jobs > 1 else "local", jobs=jobs
+        )
+    elif config is None:
+        config = SweepConfig()
+
     names = normalize_names(names)
-    tasks = _plan_tasks(names)
+    tasks = plan_tasks(names)
 
     start = time.perf_counter()
-    if jobs == 1:
-        outcomes = [_execute_task(task) for task in tasks]
-    else:
-        factory = executor_factory or (
-            lambda workers: concurrent.futures.ProcessPoolExecutor(
-                max_workers=workers
-            )
-        )
-        with factory(min(jobs, len(tasks) or 1)) as executor:
+    if executor_factory is not None:
+        with executor_factory(min(jobs or 1, len(tasks) or 1)) as executor:
             # map() preserves submission order, which is merge order.
-            outcomes = list(executor.map(_execute_task, tasks))
+            outcomes = list(executor.map(execute, tasks))
+    else:
+        outcomes = make_backend(config).run(tasks)
     total_wall = time.perf_counter() - start
 
-    sharded = _sharded_experiments()
-    records: Dict[str, ExperimentRun] = {}
-    for name in names:
-        mine = [outcome for outcome in outcomes if outcome.name == name]
-        if name in sharded:
-            result = sharded[name].merge([outcome.payload for outcome in mine])
-        else:
-            result = mine[0].payload
-        _run, format_report = EXPERIMENTS[name]
-        records[name] = ExperimentRun(
-            name=name,
-            result=result,
-            report=format_report(result),
-            wall_seconds=sum(outcome.wall_seconds for outcome in mine),
-            events_fired=sum(outcome.events_fired for outcome in mine),
-            shards=len(mine),
-        )
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        lines = "\n  ".join(failure.summary() for failure in failures)
+        raise RuntimeError(f"{len(failures)} experiment shard(s) failed:\n  {lines}")
+    records = _records_from(names, outcomes)
     return HarnessRun(
-        jobs=jobs, names=list(names), records=records, wall_seconds=total_wall
+        jobs=config.jobs if config.backend == "pool" else 1,
+        names=list(names),
+        records=records,
+        wall_seconds=total_wall,
     )
 
 
@@ -537,10 +675,39 @@ def _experiment_view(artifact: Dict[str, Any]) -> Dict[str, Any]:
     return {"experiments": experiments, "timing": {}}
 
 
+def reject_partial_artifact(
+    artifact: Dict[str, Any], allow_partial: bool = False, context: str = ""
+) -> List[Dict[str, Any]]:
+    """Refuse an artifact carrying shard failures unless explicitly allowed.
+
+    Sweep artifacts assembled with ``allow_partial`` carry a
+    ``failures`` section of structured :class:`ShardFailure`
+    diagnostics.  Consumers that would otherwise treat such an artifact
+    as a complete run (:func:`diff_artifacts`, ``check_artifact``)
+    call this first: it raises :class:`ValueError` naming the failed
+    shards, unless the caller opted in with ``allow_partial`` — in
+    which case it returns the failure records for reporting.
+    """
+    failures = artifact.get("failures") or []
+    if failures and not allow_partial:
+        shards = ", ".join(
+            f"{entry.get('task_id', '?')} ({entry.get('exception_type', '?')})"
+            for entry in failures
+        )
+        where = f"{context}: " if context else ""
+        raise ValueError(
+            f"{where}artifact is partial — {len(failures)} shard(s) "
+            f"failed: {shards}; pass allow_partial/--allow-partial to "
+            "proceed on the surviving shards"
+        )
+    return failures
+
+
 def diff_artifacts(
     current: Dict[str, Any],
     baseline: Dict[str, Any],
     tolerance: float = 0.0,
+    allow_partial: bool = False,
 ) -> ArtifactDiff:
     """Compare two artifacts; flag regressions.
 
@@ -554,7 +721,13 @@ def diff_artifacts(
     :func:`_experiment_view`), so ``diff_artifacts(load_artifact(a),
     load_artifact(b))`` localizes a scenario regression down to the
     breakdown segment whose mean moved.
+
+    An artifact carrying a ``failures`` section (a partial sweep) is
+    refused with :class:`ValueError` unless ``allow_partial`` — a diff
+    against missing data would report bogus regressions.
     """
+    reject_partial_artifact(current, allow_partial, context="current")
+    reject_partial_artifact(baseline, allow_partial, context="baseline")
     current = _experiment_view(current)
     baseline = _experiment_view(baseline)
     diff = ArtifactDiff()

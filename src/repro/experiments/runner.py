@@ -141,8 +141,11 @@ def run_cli(args: argparse.Namespace) -> Tuple[str, int]:
         jobs = 1
         engine.reset_profile_totals()
         engine.set_profile_default(True)
+    from repro.runtime.backends import SweepConfig
+
+    config = SweepConfig(backend="pool" if jobs > 1 else "local", jobs=jobs)
     try:
-        run = harness.run_experiments(args.names or None, jobs=jobs)
+        run = harness.run_experiments(args.names or None, config=config)
     finally:
         if profile:
             engine.set_profile_default(False)

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.flow.model import FlowLoadMap, FlowModel, LinkKey
+from repro.runtime.seeds import derive
 from repro.sim import Component, Simulator
 from repro.units import ns
 
@@ -61,8 +62,9 @@ def plan_flow_demands(
     into aggregate demands.
 
     Deterministic, and seeded exactly like packet planning
-    (``random.Random(seed * 100003 + index)``), so re-fidelitying one
-    traffic entry never perturbs any other entry's arrivals.  Rates are
+    (``random.Random(derive(f"traffic[{index}]", seed))``), so
+    re-fidelitying one traffic entry never perturbs any other entry's
+    arrivals.  Rates are
     framed on-wire bytes (what the link actually carries); a kind's
     demand set mirrors its packet expansion: ``oneway`` is one demand,
     ``incast`` one per source at the per-source mean rate, ``uniform``
@@ -70,7 +72,7 @@ def plan_flow_demands(
     destination drawn from the entry's RNG stream (the flow-level
     stand-in for per-packet destination draws).
     """
-    rng = random.Random(seed * 100003 + index)
+    rng = random.Random(derive(f"traffic[{index}]", seed))
     mean = max(1.0, ns(traffic.mean_interarrival_ns))
     framed = params.framed_bytes(traffic.size_bytes)
     rate = framed / mean

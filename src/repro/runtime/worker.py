@@ -1,0 +1,76 @@
+"""The sweep worker: claim → execute → checkpoint, until the queue dries.
+
+A worker is any process (this machine or another sharing the
+filesystem) running :func:`work` on a run directory::
+
+    python -m repro sweep-worker RUNDIR
+
+It claims tasks one at a time through the atomic-rename broker
+(:class:`~repro.runtime.state.RunState`), executes each with the
+per-shard failure fence (:func:`repro.runtime.tasks.execute`), and
+checkpoints every outcome before claiming the next.  A worker holds at
+most one claim, so a SIGKILL costs the job at most one shard of
+progress — exactly the shard ``resume`` recovers.
+
+Workers are deliberately dumb: no coordination, no heartbeats, no
+result aggregation.  The parent (or a later ``resume``) assembles the
+artifact from the checkpoint files; a worker that finds an empty queue
+simply exits 0.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.runtime.state import RunState
+from repro.runtime.tasks import execute, worker_identity
+
+__all__ = ["work", "main"]
+
+
+def work(run_dir: str, max_tasks: Optional[int] = None) -> int:
+    """Drain the run directory's queue; returns the shard count executed.
+
+    ``max_tasks`` bounds the number of claims (tests use it to leave
+    work behind deliberately); None means run until the queue is empty.
+    """
+    state = RunState.load(run_dir)
+    executed = 0
+    while max_tasks is None or executed < max_tasks:
+        task = state.claim_next()
+        if task is None:
+            break
+        state.record(execute(task))
+        executed += 1
+    return executed
+
+
+def main(argv=None) -> int:
+    """CLI body for ``python -m repro sweep-worker``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro sweep-worker",
+        description="drain one sweep run directory's task queue",
+    )
+    parser.add_argument("run_dir", metavar="RUNDIR")
+    parser.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop after N shards (default: drain the queue)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        executed = work(args.run_dir, max_tasks=args.max_tasks)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(f"{worker_identity()}: executed {executed} shard(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

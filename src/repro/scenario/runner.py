@@ -1,27 +1,37 @@
 """Run scenario spec files, serially or fanned over worker processes.
 
-Each spec file is an independent simulation, so ``--jobs N`` simply
-maps files onto a process pool.  Per-scenario results are deterministic
-and the artifact is assembled in input order, so the serial and
-parallel artifacts are byte-identical — pinned by the scenario
-determinism tests.
+Each spec file is an independent simulation, so a scenario run is a
+natural :mod:`repro.runtime` sweep: one task per spec, executed on any
+backend — inline, a process pool (``--jobs N``), or a detached worker
+pool over a resumable run directory.  Per-scenario results are
+deterministic and the artifact is assembled in input order, so the
+artifacts from every backend are byte-identical — pinned by the
+scenario determinism tests.
 
 ``run-chaos`` is the fault-injecting sibling: the same machinery, but
 every spec gets a :class:`~repro.faults.FaultSpec` attached (built from
 CLI flags, or the spec file's own ``faults`` section, or an all-zero
 default that still arms the recovery path).  Fault verdicts are keyed
 on the spec seed and packet identity — never on process layout — so
-chaos artifacts are serial/parallel byte-identical too.
+chaos artifacts are backend-independent too.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import replace
-from functools import partial
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.faults import FaultSpec, LinkFaultSpec, LinkKillSpec, RecoverySpec
+from repro.runtime.backends import SweepConfig, make_backend
+from repro.runtime.job import Job, register_assembler
+from repro.runtime.tasks import (
+    ShardResult,
+    Task,
+    encode_payload,
+    decode_payload,
+    register_kind,
+)
 from repro.scenario.builder import (
     SCENARIO_SCHEMA,
     SCENARIO_SCHEMA_VERSION,
@@ -31,6 +41,32 @@ from repro.scenario.builder import (
 )
 from repro.scenario.spec import ScenarioSpec
 from repro.telemetry import SpanTracer, chrome_trace, dump_trace
+
+
+def _run_one(
+    spec: ScenarioSpec,
+    faults: Optional[FaultSpec] = None,
+    chaos: bool = False,
+    trace: bool = False,
+) -> Tuple[Dict[str, Any], Dict[str, Any], str, Optional[Dict[str, Any]]]:
+    """One spec → (spec, result, report, trace), all JSON-safe.
+
+    Chaos mode: ``faults`` (when given) replaces the spec's own
+    ``faults`` section; when neither exists, a default
+    :class:`FaultSpec` — zero fault probability, recovery armed — is
+    attached so the run exercises the reliable-delivery path end to
+    end.
+    """
+    if chaos:
+        if faults is not None:
+            spec = replace(spec, faults=faults)
+        elif spec.faults is None:
+            spec = replace(spec, faults=FaultSpec())
+    tracer = SpanTracer() if trace else None
+    scenario = build_scenario(spec, tracer=tracer)
+    result = scenario.run()
+    payload = tracer.to_payload() if tracer is not None else None
+    return spec.to_dict(), result.to_dict(), format_report(result), payload
 
 
 def run_spec_file(
@@ -43,34 +79,106 @@ def run_spec_file(
     The fourth element is the span-tracer payload when ``trace`` is on,
     else ``None``.
     """
-    spec = ScenarioSpec.load(path)
-    tracer = SpanTracer() if trace else None
-    scenario = build_scenario(spec, tracer=tracer)
-    result = scenario.run()
-    payload = tracer.to_payload() if tracer is not None else None
-    return spec.to_dict(), result.to_dict(), format_report(result), payload
+    return _run_one(ScenarioSpec.load(path), trace=trace)
 
 
 def run_chaos_file(
     path: str, faults: Optional[FaultSpec] = None, trace: bool = False
 ) -> Tuple[Dict[str, Any], Dict[str, Any], str, Optional[Dict[str, Any]]]:
-    """Worker entry point for chaos runs: one spec file under faults.
+    """Worker entry point for chaos runs: one spec file under faults."""
+    return _run_one(
+        ScenarioSpec.load(path), faults=faults, chaos=True, trace=trace
+    )
 
-    ``faults`` (when given) replaces the spec file's own ``faults``
-    section; when neither exists, a default :class:`FaultSpec` — zero
-    fault probability, recovery armed — is attached so the run
-    exercises the reliable-delivery path end to end.
+
+# ---------------------------------------------------------------------------
+# The "scenario" runtime kind: one task per spec, any backend.
+# ---------------------------------------------------------------------------
+
+
+def _scenario_executor(args: Dict[str, Any]) -> Any:
+    """Run one scenario task from its JSON args.
+
+    A task names its spec by file (``"path"``) or carries it inline
+    (``"spec"``, a :meth:`ScenarioSpec.to_dict` document); the optional
+    fault overlay rides as an encoded payload (FaultSpec is not
+    JSON-native).
     """
-    spec = ScenarioSpec.load(path)
-    if faults is not None:
-        spec = replace(spec, faults=faults)
-    elif spec.faults is None:
-        spec = replace(spec, faults=FaultSpec())
-    tracer = SpanTracer() if trace else None
-    scenario = build_scenario(spec, tracer=tracer)
-    result = scenario.run()
-    payload = tracer.to_payload() if tracer is not None else None
-    return spec.to_dict(), result.to_dict(), format_report(result), payload
+    if args.get("spec") is not None:
+        spec = ScenarioSpec.from_dict(args["spec"])
+    else:
+        spec = ScenarioSpec.load(args["path"])
+    faults = args.get("faults")
+    return _run_one(
+        spec,
+        faults=decode_payload(faults) if faults is not None else None,
+        chaos=bool(args.get("chaos")),
+        trace=bool(args.get("trace")),
+    )
+
+
+def scenario_tasks(
+    sources: Sequence[Union[str, ScenarioSpec]],
+    chaos: bool = False,
+    faults: Optional[FaultSpec] = None,
+    trace: bool = False,
+) -> List[Task]:
+    """One runtime task per spec (file path or in-memory spec)."""
+    tasks: List[Task] = []
+    for index, source in enumerate(sources):
+        if isinstance(source, ScenarioSpec):
+            args: Dict[str, Any] = {"spec": source.to_dict()}
+            label = source.name
+        else:
+            args = {"path": source}
+            label = os.path.basename(source)
+        args["chaos"] = chaos
+        args["trace"] = trace
+        args["faults"] = encode_payload(faults) if faults is not None else None
+        tasks.append(
+            Task(
+                kind="scenario",
+                task_id=f"scenario[{index}:{label}]",
+                args=args,
+                index=index,
+            )
+        )
+    return tasks
+
+
+def submit_scenarios(
+    sources: Sequence[Union[str, ScenarioSpec]],
+    config: Optional[SweepConfig] = None,
+    chaos: bool = False,
+    faults: Optional[FaultSpec] = None,
+) -> Job:
+    """A scenario sweep as a runtime :class:`Job` (not yet run).
+
+    ``Job.result()`` assembles the versioned scenario artifact —
+    byte-identical across backends; ``Job.manifest()`` the provenance
+    sidecar.
+    """
+    tasks = scenario_tasks(sources, chaos=chaos, faults=faults)
+    return Job(
+        kind="scenario",
+        meta={"names": [task.task_id for task in tasks], "base_seed": 0},
+        tasks=tasks,
+        config=config,
+    )
+
+
+def _scenario_assembler(
+    meta: Dict[str, Any], results: List[ShardResult]
+) -> Dict[str, Any]:
+    """Assemble the scenario artifact from shard payloads (input order)."""
+    document, _reports, _trace = _assemble(
+        [shard.payload for shard in results]
+    )
+    return document
+
+
+register_kind("scenario", _scenario_executor)
+register_assembler("scenario", _scenario_assembler)
 
 
 def _assemble(
@@ -96,37 +204,64 @@ def _assemble(
     return document, reports, trace_document
 
 
-def _run_files(worker, paths: Sequence[str], jobs: int):
-    if jobs <= 1 or len(paths) <= 1:
-        outcomes = [worker(path) for path in paths]
-    else:
-        with ProcessPoolExecutor(max_workers=min(jobs, len(paths))) as pool:
-            outcomes = list(pool.map(worker, paths))
-    return _assemble(outcomes)
+def _run_files(
+    paths: Sequence[str],
+    jobs: int,
+    chaos: bool = False,
+    faults: Optional[FaultSpec] = None,
+    trace: bool = False,
+    config: Optional[SweepConfig] = None,
+):
+    """Execute one task per spec on a runtime backend and assemble.
+
+    ``jobs`` maps onto ``SweepConfig(backend="pool", jobs=N)`` (inline
+    for 1) unless an explicit ``config`` overrides it.  A shard failure
+    raises — the scenario CLI keeps its fail-loud contract; the job
+    surface (:func:`submit_scenarios`) records failures instead.
+    """
+    if config is None:
+        config = SweepConfig(
+            backend="pool" if jobs > 1 else "local", jobs=max(jobs, 1)
+        )
+    tasks = scenario_tasks(paths, chaos=chaos, faults=faults, trace=trace)
+    outcomes = make_backend(config).run(tasks)
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if failures:
+        lines = "\n  ".join(failure.summary() for failure in failures)
+        raise ValueError(f"{len(failures)} scenario(s) failed:\n  {lines}")
+    return _assemble([outcome.payload for outcome in outcomes])
 
 
 def run_scenario_files(
-    paths: Sequence[str], jobs: int = 1
+    paths: Sequence[str],
+    jobs: int = 1,
+    config: Optional[SweepConfig] = None,
 ) -> Tuple[Dict[str, Any], List[str]]:
     """Run every spec file; returns (artifact document, reports).
 
     ``jobs=1`` runs inline (the debuggable fallback); more jobs fan the
-    files over a process pool.  Output order always follows input order.
+    files over a process pool; an explicit ``config`` selects any
+    runtime backend.  Output order always follows input order.
     """
-    document, reports, _trace = _run_files(run_spec_file, paths, jobs)
+    document, reports, _trace = _run_files(paths, jobs, config=config)
     return document, reports
 
 
 def run_chaos_files(
-    paths: Sequence[str], faults: Optional[FaultSpec] = None, jobs: int = 1
+    paths: Sequence[str],
+    faults: Optional[FaultSpec] = None,
+    jobs: int = 1,
+    config: Optional[SweepConfig] = None,
 ) -> Tuple[Dict[str, Any], List[str]]:
     """The chaos twin of :func:`run_scenario_files`.
 
-    ``functools.partial`` over the (picklable, frozen) fault spec keeps
-    the pool path working; output order always follows input order.
+    The (picklable, frozen) fault spec rides inside each task's args,
+    so every backend — pool workers included — applies the same
+    overlay; output order always follows input order.
     """
-    worker = partial(run_chaos_file, faults=faults)
-    document, reports, _trace = _run_files(worker, paths, jobs)
+    document, reports, _trace = _run_files(
+        paths, jobs, chaos=True, faults=faults, config=config
+    )
     return document, reports
 
 
@@ -144,11 +279,9 @@ def run_traced(
     in input order from per-scenario deterministic payloads, so serial
     and ``jobs > 1`` runs produce byte-identical trace JSON.
     """
-    if chaos or faults is not None:
-        worker = partial(run_chaos_file, faults=faults, trace=True)
-    else:
-        worker = partial(run_spec_file, trace=True)
-    document, reports, trace_document = _run_files(worker, paths, jobs)
+    document, reports, trace_document = _run_files(
+        paths, jobs, chaos=chaos or faults is not None, faults=faults, trace=True
+    )
     if trace_document is None:  # no paths at all
         trace_document = chrome_trace([])
     return document, reports, trace_document

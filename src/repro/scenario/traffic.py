@@ -1,8 +1,10 @@
 """Seeded traffic planning: a spec's generators → a packet schedule.
 
 Planning is pure and deterministic: every :class:`~repro.scenario.spec.TrafficSpec`
-gets its own ``random.Random`` stream derived from the scenario seed and
-its position, so adding a generator never perturbs another's arrivals.
+gets its own ``random.Random`` stream derived — via
+:func:`repro.runtime.seeds.derive`, i.e. ``blake2b``, never arithmetic
+offsets that can silently collide — from the scenario seed and its
+position, so adding a generator never perturbs another's arrivals.
 The output is a flat, arrival-sorted list of :class:`FlowPacket` —
 the builder just replays it.
 """
@@ -13,6 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.runtime.seeds import derive
 from repro.scenario.spec import ScenarioSpec, TrafficSpec
 from repro.units import ns
 from repro.workloads.traces import ClusterKind, TraceGenerator
@@ -46,7 +49,9 @@ def plan_traffic(spec: ScenarioSpec) -> List[FlowPacket]:
             # flow-id ranges and RNG streams of every packet-level
             # entry are unchanged by re-fidelitying a neighbor.
             continue
-        rng = random.Random(spec.seed * 100003 + index)
+        # The stream id must match plan_flow_demands' exactly: the
+        # packet/flow fidelity twins share one RNG stream per slot.
+        rng = random.Random(derive(f"traffic[{index}]", spec.seed))
         label = traffic.label or f"t{index}.{traffic.kind}"
         if traffic.kind == "oneway":
             plan.extend(_plan_oneway(traffic, index, label))

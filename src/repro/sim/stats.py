@@ -102,7 +102,10 @@ class Histogram:
         low = int(rank)
         high = min(low + 1, len(self._samples) - 1)
         fraction = rank - low
-        return self._samples[low] * (1 - fraction) + self._samples[high] * fraction
+        a, b = self._samples[low], self._samples[high]
+        # a + (b-a)*f, clamped: the two-product form underflows for
+        # subnormal samples (0.5*5e-324 == 0.0), landing outside [a, b].
+        return min(max(a + (b - a) * fraction, a), b)
 
     @property
     def median(self) -> float:

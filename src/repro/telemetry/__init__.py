@@ -33,12 +33,20 @@ Exports:
 * :func:`~repro.telemetry.chrome.segment_totals` — fold a payload's
   spans back into per-segment tick totals (the Fig. 5/Fig. 11
   decomposition, reconstructed from the timeline).
+* :func:`~repro.telemetry.chrome.runtime_trace` — a *sweep's*
+  provenance manifest as a Chrome-trace timeline: per-shard wall
+  spans laid out on one track per worker (see ``docs/runtime.md``).
 
 See ``docs/observability.md`` for the full tour, including how to
 open a trace in Perfetto.
 """
 
-from repro.telemetry.chrome import chrome_trace, dump_trace, segment_totals
+from repro.telemetry.chrome import (
+    chrome_trace,
+    dump_trace,
+    runtime_trace,
+    segment_totals,
+)
 from repro.telemetry.spans import SPAN_CATEGORIES, SpanTracer
 
 __all__ = [
@@ -46,5 +54,6 @@ __all__ = [
     "SpanTracer",
     "chrome_trace",
     "dump_trace",
+    "runtime_trace",
     "segment_totals",
 ]

@@ -151,6 +151,69 @@ def dump_trace(document: Dict[str, Any]) -> str:
     return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
 
+def runtime_trace(manifest: Dict[str, Any]) -> Dict[str, Any]:
+    """A sweep's provenance manifest as a Chrome-trace timeline.
+
+    One trace *process* per worker identity (``host:pid``), one ``"X"``
+    complete event per shard — so loading the document in Perfetto
+    shows how the sweep's shards packed onto its workers, where the
+    stragglers were, and which worker a failed shard died on.  Times
+    come from the shards' ``started_at``/``wall_seconds`` wall-clock
+    stamps (rebased to the earliest shard), so unlike the simulation
+    traces this document is provenance: it describes one particular
+    run, not the deterministic result.
+    """
+    shards = manifest.get("shards", [])
+    workers: List[str] = []
+    for shard in shards:
+        worker = shard.get("worker", "")
+        if worker not in workers:
+            workers.append(worker)
+    base = min(
+        (s["started_at"] for s in shards if s.get("started_at")), default=0.0
+    )
+    events: List[Dict[str, Any]] = []
+    for pid, worker in enumerate(workers, start=1):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": worker or "worker"},
+            }
+        )
+    for shard in shards:
+        pid = workers.index(shard.get("worker", "")) + 1
+        start_us = max(0.0, shard.get("started_at", 0.0) - base) * 1e6
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": 1,
+                "name": shard.get("task_id", f"shard {shard.get('index')}"),
+                "cat": f"shard.{shard.get('status', 'done')}",
+                "ts": start_us,
+                "dur": shard.get("wall_seconds", 0.0) * 1e6,
+                "args": {
+                    "index": shard.get("index"),
+                    "seed": shard.get("seed"),
+                    "status": shard.get("status"),
+                    "events_fired": shard.get("events_fired", 0),
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.runtime",
+            "clock": "wall time (ts/dur in us, rebased to first shard)",
+            "backend": manifest.get("run", {}).get("backend", ""),
+        },
+    }
+
+
 def segment_totals(
     payload: Dict[str, Any],
     names: Optional[Iterable[str]] = None,

@@ -66,6 +66,75 @@ class TestFacadeVerbs:
             api.format_report({"not": "a result"})
 
 
+class TestJobVerbs:
+    def test_submit_experiments_by_name(self):
+        job = api.submit("table1")
+        assert job.status()["state"] == "pending"
+        document = job.result()
+        assert document["run"]["experiments"] == ["table1"]
+        assert job.status()["state"] == "done"
+
+    def test_submit_scenario_specs(self, spec, tmp_path):
+        path = tmp_path / "spec.json"
+        spec.save(path)
+        document = api.submit(str(path)).result()
+        assert document["scenarios"]["api-twonode"]["result"]
+
+    def test_submit_scenario_objects_with_faults(self, spec):
+        faults = api.FaultSpec(
+            links=(api.LinkFaultSpec(drop_probability=0.5),),
+            recovery=api.RecoverySpec(timeout_ns=20_000.0),
+        )
+        document = api.submit(spec, faults=faults).result()
+        result = document["scenarios"]["api-twonode"]["result"]
+        counters = result["recovery"]["oneway"]
+        assert counters["delivered"] + counters["lost"] == 4
+
+    def test_submit_rejects_mixtures_and_typos(self, spec):
+        with pytest.raises(ValueError, match="not a mixture"):
+            api.submit([spec, 123])
+        with pytest.raises(ValueError, match="fig99"):
+            api.submit("fig99")
+        with pytest.raises(ValueError, match="scenario"):
+            api.submit("table1", chaos=True)
+
+    def test_collect_gathers_in_order(self, spec):
+        documents = api.collect([api.submit("table1"), api.submit(spec)])
+        assert documents[0]["run"]["experiments"] == ["table1"]
+        assert "api-twonode" in documents[1]["scenarios"]
+
+    def test_submit_artifact_writes_manifest_sidecar(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        api.submit("table1").artifact(str(path))
+        manifest = json.loads((tmp_path / "artifact.json.manifest.json").read_text())
+        assert manifest["run"]["status"] == "complete"
+        assert manifest["job"]["kind"] == "experiment"
+
+    def test_resume_completes_a_checkpointed_submit(self, tmp_path):
+        run_dir = str(tmp_path / "run")
+        job = api.submit("table1", run_dir=run_dir)
+        job.run()
+        resumed = api.resume(run_dir)
+        assert resumed.result() == job.result()
+
+    def test_run_experiment_without_jobs_does_not_warn(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", DeprecationWarning)
+            run = api.run_experiment(["table1"])
+        assert "table1" in run.records
+
+    def test_run_experiment_jobs_kwarg_warns(self):
+        with pytest.deprecated_call(match="api.submit"):
+            run = api.run_experiment(["table1"], jobs=1)
+        assert "table1" in run.records
+
+    def test_run_experiment_jobs_still_validates(self):
+        with pytest.deprecated_call(), pytest.raises(ValueError):
+            api.run_experiment(["table1"], jobs=0)
+
+
 class TestTopLevelExports:
     def test_lazy_api_attribute(self):
         assert repro.api is api

@@ -8,6 +8,7 @@ from repro.__main__ import main
 from repro.analysis.targets import check_artifact, format_artifact_checks
 from repro.experiments import fig11, harness
 from repro.experiments.runner import EXPERIMENTS, normalize_names, run_all
+from repro.runtime import SweepConfig
 
 FAST_NAMES = ["table1", "fig7", "fig4", "transactions", "feasibility"]
 
@@ -36,11 +37,26 @@ class TestNormalizeNames:
 class TestHarnessRun:
     @pytest.fixture(scope="class")
     def serial(self):
-        return harness.run_experiments(FAST_NAMES, jobs=1)
+        return harness.run_experiments(FAST_NAMES, config=SweepConfig())
 
     def test_jobs_must_be_positive(self):
-        with pytest.raises(ValueError):
+        # The legacy kwarg still validates — after warning about itself.
+        with pytest.deprecated_call(), pytest.raises(ValueError):
             harness.run_experiments(["table1"], jobs=0)
+
+    def test_legacy_jobs_kwarg_warns_and_matches_config_form(self, serial):
+        with pytest.deprecated_call(match="SweepConfig"):
+            legacy = harness.run_experiments(FAST_NAMES, jobs=1)
+        assert (
+            legacy.to_artifact()["experiments"]
+            == serial.to_artifact()["experiments"]
+        )
+
+    def test_config_and_legacy_kwargs_are_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            harness.run_experiments(
+                ["table1"], jobs=2, config=SweepConfig()
+            )
 
     def test_report_matches_serial_runner(self, serial):
         assert serial.report_text() == run_all(FAST_NAMES)
@@ -76,7 +92,9 @@ class TestHarnessRun:
 
     def test_parallel_matches_serial_byte_for_byte(self, serial):
         """The determinism contract: --jobs 4 == --jobs 1, byte for byte."""
-        parallel = harness.run_experiments(FAST_NAMES, jobs=4)
+        parallel = harness.run_experiments(
+            FAST_NAMES, config=SweepConfig(backend="pool", jobs=4)
+        )
         serial_bytes = json.dumps(
             serial.to_artifact()["experiments"], sort_keys=True
         ).encode()
@@ -118,7 +136,9 @@ class TestShardedMergeEquality:
 class TestDiff:
     @pytest.fixture(scope="class")
     def artifact(self):
-        return harness.run_experiments(["table1", "fig7"], jobs=1).to_artifact()
+        return harness.run_experiments(
+            ["table1", "fig7"], config=SweepConfig()
+        ).to_artifact()
 
     def test_self_diff_reports_no_regressions(self, artifact):
         diff = harness.diff_artifacts(artifact, artifact)
@@ -149,7 +169,7 @@ class TestDiff:
 
 class TestArtifactTargetChecks:
     def test_checks_rerun_from_loaded_json(self, tmp_path):
-        run = harness.run_experiments(["fig7"], jobs=1)
+        run = harness.run_experiments(["fig7"], config=SweepConfig())
         path = tmp_path / "fig7.json"
         run.write_artifact(str(path))
         checks = check_artifact(harness.load_artifact(str(path)))

@@ -199,9 +199,10 @@ class TestFig5ArtifactEquality:
     @pytest.mark.slow
     def test_fig5_artifact_matches_baseline(self):
         from repro.experiments import harness
+        from repro.runtime import SweepConfig
 
         baseline = harness.load_artifact(str(FIG5_BASELINE_PATH))
-        run = harness.run_experiments(["fig5"], jobs=1)
+        run = harness.run_experiments(["fig5"], config=SweepConfig())
         current = run.to_artifact()
         diff = harness.diff_artifacts(current, baseline)
         assert not diff.has_regressions, diff.format()
