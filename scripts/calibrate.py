@@ -1,77 +1,70 @@
-"""Calibration harness: paper targets vs model output for Fig. 4 / Fig. 11."""
-from repro.sim import Simulator
-from repro.driver import DiscreteNICNode, IntegratedNICNode, NetDIMMNode
-from repro.net import Packet, EthernetWire
-from repro.units import to_us
+"""Hand-calibration scratchpad: paper targets vs model output, live.
+
+The quick feedback loop for tuning a ``*Calibrated*`` constant by
+hand: run the calibration figures (Fig. 4 + Fig. 11 by default, or the
+figures named on the command line), score every measured metric
+against the ``PAPER_TARGETS`` registry with the same normalized loss
+the closed-loop calibrator uses, and print the registry table plus a
+per-NIC latency breakdown.
+
+Every number here comes from ``repro.analysis.targets`` and the
+experiment modules — this script owns no targets of its own, so it can
+never drift from the registry.  For the automated version of this
+loop, see ``python -m repro calibrate`` (docs/calibration.md).
+
+Usage::
+
+    PYTHONPATH=src python scripts/calibrate.py [FIGURE ...]
+"""
+
+import sys
+
+from repro.analysis.targets import aggregate_loss, registry_markdown
+from repro.calib import evaluate_candidate, select_targets
+from repro.experiments.oneway import measure_one_way
 
 
-def one_way(factory, size, zero_copy=False):
-    sim = Simulator()
-    tx = factory(sim, 'tx', zero_copy)
-    rx = factory(sim, 'rx', zero_copy)
-    if hasattr(tx, 'warm_up'):
-        tx.warm_up()
-    wire = EthernetWire(sim, 'wire')
-    pkt = Packet(size_bytes=size)
+def main(argv=None) -> int:
+    selectors = list(argv if argv is not None else sys.argv[1:]) or None
+    target_names = select_targets(selectors)
+    payload = evaluate_candidate({}, target_names)
+    measured = {
+        name: entry["measured"]
+        for name, entry in payload["targets"].items()
+    }
+    loss, per_target = aggregate_loss(measured, names=target_names)
 
-    def flow():
-        yield tx.transmit(pkt)
-        t0 = sim.now
-        yield wire.transmit(size)
-        pkt.breakdown.add('wire', sim.now - t0)
-        yield rx.receive(pkt)
-        return pkt
+    print(registry_markdown(measured=measured).rstrip("\n"))
+    print()
+    print(
+        f"shipped defaults: loss {loss:.4f}, "
+        f"{payload['targets_passed']}/{payload['targets_total']} "
+        f"target(s) in band"
+    )
+    worst = sorted(
+        per_target.items(), key=lambda item: -item[1]["loss"]
+    )[:3]
+    print("largest losses (the constants to look at first):")
+    for name, entry in worst:
+        print(
+            f"  {name:<40} measured {entry['measured']:.4g} "
+            f"vs paper {entry['paper_value']:g} "
+            f"(loss {entry['loss']:.3f})"
+        )
 
-    p = sim.spawn(flow())
-    sim.run_until(p.done, max_events=500000)
-    return pkt
+    print()
+    print("one-way latency breakdowns (64 B / 1024 B):")
+    for nic in ("dnic", "inic", "netdimm"):
+        for size in (64, 1024):
+            result = measure_one_way(nic, size)
+            segments = "  ".join(
+                f"{name}={ticks / 1000:.0f}ns"
+                for name, ticks in result.segments.items()
+                if ticks
+            )
+            print(f"  {nic:<8}{size:>5}B  {result.total_us:.2f}us  {segments}")
+    return 0 if payload["targets_passed"] == payload["targets_total"] else 1
 
 
-def dnic(sim, n, z): return DiscreteNICNode(sim, n, zero_copy=z)
-def inic(sim, n, z): return IntegratedNICNode(sim, n, zero_copy=z)
-def nd(sim, n, z): return NetDIMMNode(sim, n)
-
-
-print("== Fig 11 absolute (us) | targets: dNIC 2.10/2.54/3.10, ND 1.13/1.21/1.56 ==")
-for size, dt, nt in [(64, 2.10, 1.13), (256, 2.54, 1.21), (1024, 3.10, 1.56)]:
-    d = one_way(dnic, size).breakdown.total
-    i = one_way(inic, size).breakdown.total
-    n = one_way(nd, size).breakdown.total
-    print(f"{size:5d}B dNIC={to_us(d):.2f} (t {dt}) iNIC={to_us(i):.2f} ND={to_us(n):.2f} (t {nt}) "
-          f"ND/d=-{1-n/d:.1%} ND/i=-{1-n/i:.1%}")
-
-print("\n== averages across sizes (targets: ND vs dNIC -49.9%, ND vs iNIC -26.0%) ==")
-sizes = [10, 60, 200, 500, 1000, 2000, 4000, 8000]
-dv, iv, nv = [], [], []
-for s in sizes:
-    dv.append(one_way(dnic, s).breakdown.total)
-    iv.append(one_way(inic, s).breakdown.total)
-    nv.append(one_way(nd, s).breakdown.total)
-imp_d = sum(1 - n/d for n, d in zip(nv, dv)) / len(sizes)
-imp_i = sum(1 - n/i for n, i in zip(nv, iv)) / len(sizes)
-imp_di = sum(1 - i/d for i, d in zip(iv, dv)) / len(sizes)
-print(f"ND vs dNIC: -{imp_d:.1%}   ND vs iNIC: -{imp_i:.1%}   iNIC vs dNIC: -{imp_di:.1%}")
-print("per-size iNIC imp (target 21.3-38.6%, bigger for small):",
-      ["%.0f%%" % (100*(1-i/d)) for i, d in zip(iv, dv)])
-
-print("\n== Fig 4 zero copy (targets: iNIC.zcpy imp 28.8% @10B, 52.3% @2000B) ==")
-for s in (10, 2000):
-    i = one_way(inic, s).breakdown.total
-    iz = one_way(inic, s, zero_copy=True).breakdown.total
-    print(f"{s}B iNIC={to_us(i):.2f} zcpy={to_us(iz):.2f} imp={1-iz/i:.1%}")
-
-print("\n== flush+invalidate share for ND (target 9.7-15.8%) ==")
-for s in (64, 256, 1024, 8000):
-    p = one_way(nd, s)
-    share = (p.breakdown.get('txFlush') + p.breakdown.get('rxInvalidate')) / p.breakdown.total
-    print(f"{s}B share={share:.1%} total={to_us(p.breakdown.total):.2f}")
-
-print("\n== dNIC breakdown at 64B and 1024B ==")
-for s in (64, 1024):
-    print(s, one_way(dnic, s).breakdown)
-print("\n== ND breakdown ==")
-for s in (64, 1024):
-    print(s, one_way(nd, s).breakdown)
-print("\n== iNIC breakdown ==")
-for s in (64, 1024):
-    print(s, one_way(inic, s).breakdown)
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,11 @@
 """Markdown link checker for README.md and docs/ (stdlib only).
 
-Validates every inline markdown link and image in the repo's top-level
-``*.md`` files and ``docs/*.md``:
+Validates every markdown link and image in the repo's top-level
+``*.md`` files, ``docs/**/*.md`` (recursive), and ``examples/**/*.md``:
 
+* **inline links** (``[text](target)``) and **reference-style links**
+  (``[text][ref]`` resolved through ``[ref]: target`` definitions;
+  an undefined reference is itself a broken link);
 * **relative links** must point at an existing file or directory
   (resolved against the linking file's directory);
 * **fragment links** (``file.md#anchor`` or ``#anchor``) must match a
@@ -30,6 +33,9 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 # Inline links/images: [text](target) — target may carry a "title".
 LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# Reference-style: [text][ref] uses, [ref]: target definitions.
+REF_USE_RE = re.compile(r"!?\[[^\]]+\]\[([^\]]+)\]")
+REF_DEF_RE = re.compile(r"^\s*\[([^\]]+)\]:\s+(\S+)")
 HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
 CODE_FENCE_RE = re.compile(r"^(```|~~~)")
 
@@ -64,19 +70,41 @@ def collect_anchors(path: pathlib.Path) -> List[str]:
 
 
 def collect_links(path: pathlib.Path) -> List[Tuple[int, str]]:
-    """(line number, target) for every inline link outside code fences."""
-    links: List[Tuple[int, str]] = []
+    """(line number, target) for every link outside code fences.
+
+    Inline links contribute their targets directly; reference-style
+    uses resolve through the file's ``[ref]: target`` definitions, and
+    an undefined reference is reported as ``undefined-ref:NAME``.
+    """
+    lines = path.read_text(encoding="utf-8").splitlines()
+    definitions: Dict[str, str] = {}
     in_fence = False
-    for number, line in enumerate(
-        path.read_text(encoding="utf-8").splitlines(), start=1
-    ):
+    for line in lines:
         if CODE_FENCE_RE.match(line.strip()):
             in_fence = not in_fence
             continue
         if in_fence:
             continue
+        definition = REF_DEF_RE.match(line)
+        if definition:
+            definitions[definition.group(1).lower()] = definition.group(2)
+    links: List[Tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(lines, start=1):
+        if CODE_FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence or REF_DEF_RE.match(line):
+            continue
         for match in LINK_RE.finditer(line):
             links.append((number, match.group(1)))
+        stripped = LINK_RE.sub("", line)  # don't re-match [text](url) tails
+        for match in REF_USE_RE.finditer(stripped):
+            reference = match.group(1).lower()
+            target = definitions.get(reference)
+            links.append(
+                (number, target if target else f"undefined-ref:{reference}")
+            )
     return links
 
 
@@ -89,6 +117,12 @@ def check_file(path: pathlib.Path, anchor_cache: Dict[pathlib.Path, List[str]]) 
     for number, target in collect_links(path):
         where = f"{shown}:{number}"
         if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("undefined-ref:"):
+            problems.append(
+                f"{where}: undefined link reference "
+                f"[{target.partition(':')[2]}]"
+            )
             continue
         if target.startswith("#"):
             base, fragment = path, target[1:]
@@ -113,8 +147,10 @@ def main(argv: List[str]) -> int:
     if argv:
         files = [pathlib.Path(arg).resolve() for arg in argv]
     else:
-        files = sorted(REPO_ROOT.glob("*.md")) + sorted(
-            (REPO_ROOT / "docs").glob("*.md")
+        files = (
+            sorted(REPO_ROOT.glob("*.md"))
+            + sorted((REPO_ROOT / "docs").glob("**/*.md"))
+            + sorted((REPO_ROOT / "examples").glob("**/*.md"))
         )
     anchor_cache: Dict[pathlib.Path, List[str]] = {}
     problems: List[str] = []

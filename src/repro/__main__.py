@@ -53,8 +53,24 @@ Commands
     Drain a run directory's task queue in this process.  What the
     ``workers`` backend spawns; also the thing you start by hand on
     another machine to join a sweep.
-``targets``
-    Print the paper-target registry with bands.
+``calibrate SPEC.json [--targets SEL ...] [--budget N] [--out DIR]
+[--backend B] [--jobs N] [--workers N] [--run-dir DIR] [--base-seed N]
+[--trace PATH]``
+    Closed-loop calibration (see ``docs/calibration.md``): fit the
+    ``*Calibrated*`` constants named by the search-space file to the
+    paper-target bands, trial by trial over the sweep runtime.
+    ``--targets`` selects registry targets by name or figure prefix
+    (default: the hand-calibration's ``fig4`` + ``fig11`` set);
+    ``--out`` writes the versioned calibrated-params artifact, its
+    sidecar manifest, and the full trial log into a fresh directory;
+    ``--run-dir`` checkpoints each search round so a killed run, re-run
+    with the same arguments, resumes; ``--trace`` exports the search
+    as a Chrome-trace timeline.
+``targets [--markdown] [--artifact PATH]``
+    Print the paper-target registry with bands.  ``--markdown`` emits
+    the registry as the GitHub table ``EXPERIMENTS.md`` embeds;
+    ``--artifact`` fills its measured/verdict columns from an
+    experiments artifact.
 
 This module deliberately imports only :mod:`repro.api` — the CLI is the
 facade's first consumer.
@@ -281,7 +297,66 @@ def _build_parser() -> argparse.ArgumentParser:
         "--max-tasks", type=api.positive_int, default=None, metavar="N"
     )
 
-    commands.add_parser("targets", help="print the paper-target registry")
+    calibrate = commands.add_parser(
+        "calibrate",
+        help="fit the *Calibrated* constants to paper-target bands",
+    )
+    calibrate.add_argument(
+        "space", metavar="SPEC",
+        help="search-space JSON file (see docs/calibration.md)",
+    )
+    calibrate.add_argument(
+        "--targets", nargs="+", default=None, metavar="SEL",
+        help="registry target names or figure prefixes "
+        "(default: fig4 fig11)",
+    )
+    calibrate.add_argument(
+        "--budget", type=api.positive_int, default=16, metavar="N",
+        help="maximum number of evaluated trials",
+    )
+    calibrate.add_argument(
+        "--out", dest="out_dir", metavar="DIR",
+        help="write calibrated-params artifact + sidecar manifest + "
+        "trial log here (refuses to overwrite)",
+    )
+    calibrate.add_argument(
+        "--backend", choices=sorted(api.BACKENDS), default="local",
+        help="sweep backend for the trial shards",
+    )
+    calibrate.add_argument(
+        "--jobs", type=api.positive_int, default=1, metavar="N",
+        help="process-pool width (pool backend)",
+    )
+    calibrate.add_argument(
+        "--workers", type=api.positive_int, default=2, metavar="N",
+        help="worker-process count (workers backend)",
+    )
+    calibrate.add_argument(
+        "--run-dir", metavar="DIR",
+        help="checkpoint search rounds here (re-run the same command "
+        "to resume a killed calibration)",
+    )
+    calibrate.add_argument(
+        "--base-seed", type=int, default=0, metavar="N",
+        help="base seed for per-trial seed derivation",
+    )
+    calibrate.add_argument(
+        "--trace", dest="trace_path", metavar="PATH",
+        help="write the search as a Chrome-trace timeline",
+    )
+
+    targets = commands.add_parser(
+        "targets", help="print the paper-target registry"
+    )
+    targets.add_argument(
+        "--markdown", action="store_true",
+        help="emit the registry as the GitHub table EXPERIMENTS.md embeds",
+    )
+    targets.add_argument(
+        "--artifact", metavar="PATH",
+        help="fill the measured/verdict columns from an experiments "
+        "artifact (implies --markdown)",
+    )
     return parser
 
 
@@ -369,11 +444,74 @@ def _cmd_status(run_dir: str) -> str:
     )
 
 
-def _cmd_targets() -> str:
+def _cmd_targets(markdown: bool = False, artifact: str = "") -> str:
+    if artifact:
+        markdown = True
+    if markdown:
+        measured = None
+        if artifact:
+            document = api.load_artifact(artifact)
+            measured = {}
+            for entry in document.get("experiments", {}).values():
+                measured.update(entry.get("metrics", {}))
+        return api.registry_markdown(measured=measured).rstrip("\n")
     lines = [f"{'target':<40}{'paper':>9}{'band':>18}"]
     for target in api.PAPER_TARGETS.values():
         band = f"[{target.low:g}, {target.high:g}]"
         lines.append(f"{target.name:<40}{target.paper_value:>9g}{band:>18}")
+    return "\n".join(lines)
+
+
+def _cmd_calibrate(args: argparse.Namespace) -> str:
+    report = api.calibrate(
+        args.space,
+        targets=args.targets,
+        budget=args.budget,
+        backend=args.backend,
+        jobs=args.jobs,
+        workers=args.workers,
+        run_dir=args.run_dir,
+        base_seed=args.base_seed,
+        out_dir=args.out_dir,
+    )
+    failed = len(report.failures())
+    lines = [
+        f"calibration: {len(report.trials)} trial(s) over "
+        f"{report.rounds} round(s), {len(report.targets)} target(s)"
+        + (f", {failed} failed trial(s)" if failed else "")
+    ]
+    baseline = report.baseline
+    if baseline is not None and baseline.ok:
+        lines.append(
+            f"  defaults: loss {baseline.loss:.4f}, "
+            f"{baseline.targets_passed}/{baseline.targets_total} "
+            f"target(s) in band"
+        )
+    best = report.best
+    if best is None:
+        lines.append("  no successful trial; see the failure diagnostics")
+        return "\n".join(lines)
+    lines.append(
+        f"  best:     loss {best.loss:.4f}, "
+        f"{best.targets_passed}/{best.targets_total} target(s) in band"
+    )
+    for axis in report.space.axes:
+        value = best.overrides.get(axis.param, axis.default_ticks)
+        marker = "" if value == axis.default_ticks else "  (moved)"
+        lines.append(
+            f"    {axis.param:<32}{value:>9} ticks "
+            f"(default {axis.default_ticks}){marker}"
+        )
+    if args.out_dir:
+        lines.append(f"wrote artifact: {args.out_dir}/{api.ARTIFACT_NAME}")
+        lines.append(
+            f"wrote manifest: {args.out_dir}/{api.ARTIFACT_NAME}.manifest.json"
+        )
+    if args.trace_path:
+        document = api.calibration_trace(report.to_dict())
+        with open(args.trace_path, "w", encoding="utf-8") as handle:
+            handle.write(api.dump_trace(document))
+        lines.append(f"wrote trace: {args.trace_path}")
     return "\n".join(lines)
 
 
@@ -503,8 +641,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.max_tasks is not None:
             argv_tail += ["--max-tasks", str(args.max_tasks)]
         return api.sweep_worker_main(argv_tail)
+    elif args.command == "calibrate":
+        try:
+            output = _cmd_calibrate(args)
+        except FileExistsError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        except (OSError, ValueError, RuntimeError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     else:  # targets
-        output = _cmd_targets()
+        try:
+            output = _cmd_targets(args.markdown, args.artifact or "")
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
     try:
         print(output)
     except BrokenPipeError:  # e.g. `repro targets | head`

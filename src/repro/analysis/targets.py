@@ -13,7 +13,7 @@ paper from the same registry.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -31,6 +31,77 @@ class Target:
     def check(self, measured: float) -> bool:
         """Whether the measured value falls inside the band."""
         return self.low <= measured <= self.high
+
+    def loss(self, measured: float) -> float:
+        """Normalized miss distance from the paper's value.
+
+        ``0.0`` means the measurement hits ``paper_value`` exactly,
+        ``1.0`` means it sits on the far edge of the acceptance band,
+        and values above ``1.0`` are out of band — so losses compare
+        across targets with wildly different units (microseconds,
+        fractions, Gb/s).  A degenerate band (``low == high ==
+        paper_value``, e.g. an exact structural count) falls back to
+        relative distance from the paper value.
+
+        >>> PAPER_TARGETS["fig11.netdimm_total_us.64B"].loss(1.13)
+        0.0
+        >>> PAPER_TARGETS["fig11.netdimm_total_us.64B"].loss(1.5)
+        1.0
+        >>> PAPER_TARGETS["fig7.lines_per_burst"].loss(24)
+        0.0
+        """
+        half_band = max(
+            self.high - self.paper_value, self.paper_value - self.low
+        )
+        if half_band <= 0:
+            scale = max(abs(self.paper_value), 1.0)
+            return abs(measured - self.paper_value) / scale
+        return abs(measured - self.paper_value) / half_band
+
+
+def aggregate_loss(
+    measured: Mapping[str, float], names: Optional[Sequence[str]] = None
+) -> Tuple[float, Dict[str, Dict[str, Any]]]:
+    """Score measurements against the registry: scalar + diagnostics.
+
+    ``measured`` maps registry target names to measured values (the
+    shape experiment ``metrics()`` emit); ``names`` restricts scoring
+    to those targets (default: every measured name that is in the
+    registry).  Returns ``(scalar, per_target)`` where ``scalar`` is
+    the mean of the per-target normalized losses and ``per_target``
+    carries one diagnostics entry per target: the measured value, its
+    loss, whether it is in band, and the band itself.  A selected
+    target with no measurement raises — a missing metric must never
+    score as a silent zero.
+    """
+    selected = (
+        list(names)
+        if names is not None
+        else [name for name in measured if name in PAPER_TARGETS]
+    )
+    if not selected:
+        raise ValueError("no targets selected to aggregate a loss over")
+    per_target: Dict[str, Dict[str, Any]] = {}
+    total = 0.0
+    for name in selected:
+        target = PAPER_TARGETS[name]
+        if name not in measured:
+            raise ValueError(
+                f"target {name!r} has no measured value; the owning "
+                "experiment did not emit its metric"
+            )
+        value = float(measured[name])
+        loss = target.loss(value)
+        total += loss
+        per_target[name] = {
+            "measured": value,
+            "paper_value": target.paper_value,
+            "low": target.low,
+            "high": target.high,
+            "loss": loss,
+            "ok": target.check(value),
+        }
+    return total / len(selected), per_target
 
 
 def check_value(name: str, measured: float) -> Tuple[bool, Target]:
@@ -91,6 +162,48 @@ def check_artifact(
                     )
                 )
     return checks
+
+
+def registry_markdown(
+    measured: Optional[Mapping[str, float]] = None,
+    constants: Optional[Mapping[str, Sequence[str]]] = None,
+) -> str:
+    """The registry as a GitHub-markdown table — one source of truth.
+
+    ``measured`` (target name → value, e.g. the ``metrics`` of a fresh
+    artifact) fills the measured/verdict columns; targets without a
+    measurement show ``—``.  ``constants`` maps a target-name *prefix*
+    (``"fig11"``) to the ``*Calibrated*`` constants that figure pins,
+    rendered as a final column so the table says which rows are
+    calibration constraints and which are parameter-free checks.
+    ``EXPERIMENTS.md``'s measured-vs-paper table regenerates from this
+    (``python -m repro targets --markdown --artifact run.json``).
+    """
+    with_constants = constants is not None
+    header = ["target", "source", "paper", "band", "measured", "verdict"]
+    if with_constants:
+        header.append("calibrated constants pinned here")
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for target in PAPER_TARGETS.values():
+        unit = f" {target.unit}" if target.unit else ""
+        paper = f"{target.paper_value:g}{unit}"
+        band = f"[{target.low:g}, {target.high:g}]"
+        if measured is not None and target.name in measured:
+            value = float(measured[target.name])
+            shown = f"{value:.3f}"
+            verdict = "✓" if target.check(value) else "**FAIL**"
+        else:
+            shown = verdict = "—"
+        row = [f"`{target.name}`", target.source, paper, band, shown, verdict]
+        if with_constants:
+            prefix = target.name.split(".", 1)[0]
+            pinned = constants.get(prefix, ()) if constants else ()
+            row.append(", ".join(f"`{name}`" for name in pinned) or "—")
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
 
 
 def format_artifact_checks(checks: List[ArtifactCheck]) -> str:

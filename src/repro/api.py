@@ -62,7 +62,16 @@ import json
 import warnings
 from typing import Any, List, Mapping, Optional, Sequence, Union
 
-from repro.analysis.targets import PAPER_TARGETS
+from repro.analysis.targets import PAPER_TARGETS, aggregate_loss, registry_markdown
+from repro.calib import (
+    ARTIFACT_NAME,
+    CALIBRATABLE,
+    Axis,
+    CalibrationReport,
+    SearchSpace,
+    write_calibration,
+)
+from repro.calib import calibrate as _calibrate
 from repro.driver.registry import NIC_KINDS, make_node
 from repro.experiments.harness import (
     ArtifactDiff,
@@ -127,6 +136,7 @@ from repro.scenario.runner import run_cli as run_scenario_cli
 from repro.scenario.spec import FabricSpec, NodeSpec, ScenarioSpec, TrafficSpec
 from repro.telemetry import (
     SpanTracer,
+    calibration_trace,
     chrome_trace,
     dump_trace,
     runtime_trace,
@@ -146,6 +156,16 @@ __all__ = [
     "run_experiment",
     "diff_artifacts",
     "format_report",
+    "calibrate",
+    # calibration toolkit
+    "ARTIFACT_NAME",
+    "CALIBRATABLE",
+    "Axis",
+    "CalibrationReport",
+    "SearchSpace",
+    "aggregate_loss",
+    "registry_markdown",
+    "write_calibration",
     # the sweep runtime
     "BACKENDS",
     "Job",
@@ -162,6 +182,7 @@ __all__ = [
     "sweep_worker_main",
     # telemetry
     "SpanTracer",
+    "calibration_trace",
     "chrome_trace",
     "dump_trace",
     "run_traced",
@@ -347,6 +368,62 @@ def resume(
     byte-identical to an uninterrupted run's.
     """
     return _resume(run_dir, config=config, retry_failed=retry_failed)
+
+
+def calibrate(
+    space: Union[str, Mapping[str, Any], SearchSpace],
+    *,
+    targets: Optional[Sequence[str]] = None,
+    budget: int = 16,
+    backend: str = "local",
+    jobs: int = 1,
+    workers: int = 2,
+    run_dir: Optional[str] = None,
+    base_seed: int = 0,
+    out_dir: Optional[str] = None,
+    strategy: Optional[Any] = None,
+) -> CalibrationReport:
+    """Fit the *Calibrated* constants to paper targets; see
+    ``docs/calibration.md``.
+
+    ``space`` is a :class:`SearchSpace`, its mapping form, or the path
+    of a search-space JSON file; ``targets`` selects ``PAPER_TARGETS``
+    entries by name or figure prefix (default ``fig4`` + ``fig11``);
+    ``budget`` caps the number of evaluated trials.  ``backend`` /
+    ``jobs`` / ``workers`` / ``run_dir`` mean exactly what they mean
+    for :func:`submit` — trials are ordinary sweep shards, and with a
+    ``run_dir`` a killed calibration re-run with the same arguments
+    resumes from its per-round checkpoints.  With ``out_dir`` the
+    winning candidate is persisted as a versioned calibrated-params
+    artifact (plus sidecar manifest and full trial log) via
+    :func:`write_calibration` — into a fresh directory, never over an
+    existing file.
+
+    >>> from repro import api
+    >>> report = api.calibrate(
+    ...     {"axes": [{"param": "software.flush_base",
+    ...                "low_ns": 35, "high_ns": 55, "step_ns": 10}]},
+    ...     targets=["fig11.netdimm_total_us.64B"], budget=2)
+    >>> report.best.targets_total
+    1
+    """
+    if isinstance(space, str):
+        with open(space, "r", encoding="utf-8") as handle:
+            space = json.load(handle)
+    config = SweepConfig(
+        backend=backend, jobs=jobs, workers=workers, run_dir=run_dir
+    )
+    report = _calibrate(
+        space,
+        targets=targets,
+        budget=budget,
+        base_seed=base_seed,
+        config=config,
+        strategy=strategy,
+    )
+    if out_dir is not None:
+        write_calibration(report, out_dir)
+    return report
 
 
 _JOBS_UNSET: Any = object()

@@ -1,0 +1,172 @@
+"""Persisting a calibration: the calibrated-params artifact + sidecar.
+
+One :func:`write_calibration` call writes three files into ``out_dir``:
+
+``calibrated-params.json``
+    The ``netdimm-repro/calibrated-params`` v1 artifact — the winning
+    overrides in :func:`repro.params.apply_overrides` shape, plus
+    per-constant provenance (default, fitted value, constraining
+    figures, note) and the fitness summary.  Deterministic: the same
+    calibration renders byte-identically on any backend, so CI can
+    ``cmp`` serial against pooled runs.  Load it back with
+    :func:`repro.params.calibrated_system_params`.
+
+``calibrated-params.json.manifest.json``
+    The sidecar manifest: base seed, search space, targets, budget,
+    trial counts, per-constant constraining figures, and the code
+    provenance (git revision, package version, python).  Carries the
+    run timestamp, so it is intentionally *outside* the byte-identity
+    guarantee.
+
+``trials.json``
+    The full :class:`~repro.calib.search.CalibrationReport` document —
+    every trial with per-target diagnostics, for audits and
+    :func:`repro.telemetry.calibration_trace`.
+
+Per the repo's artifact rules, nothing is ever overwritten: any
+pre-existing target file raises :class:`FileExistsError` before a
+single byte is written.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+from datetime import datetime, timezone
+from typing import Any, Dict
+
+from repro import __version__
+from repro.calib.search import CalibrationReport
+from repro.calib.space import nested_overrides
+from repro.params import (
+    CALIBRATED_PARAMS_SCHEMA,
+    CALIBRATED_PARAMS_SCHEMA_VERSION,
+)
+from repro.runtime.provenance import git_revision
+
+__all__ = [
+    "CALIBRATION_MANIFEST_SCHEMA",
+    "ARTIFACT_NAME",
+    "build_artifact",
+    "build_sidecar_manifest",
+    "write_calibration",
+]
+
+CALIBRATION_MANIFEST_SCHEMA = "netdimm-repro/calibration-manifest"
+ARTIFACT_NAME = "calibrated-params.json"
+
+
+def _render(document: Dict[str, Any]) -> str:
+    """The repo's canonical artifact rendering (docs/artifacts.md)."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def build_artifact(report: CalibrationReport) -> Dict[str, Any]:
+    """The calibrated-params v1 document for this report's winner."""
+    best = report.best
+    if best is None:
+        raise ValueError(
+            "calibration produced no successful trial; nothing to "
+            "persist (inspect report.failures() for diagnostics)"
+        )
+    baseline = report.baseline
+    constants = {}
+    for axis in report.space.axes:
+        value = best.overrides.get(axis.param, axis.default_ticks)
+        constants[axis.param] = {
+            "value": value,
+            "default": axis.default_ticks,
+            "unit": "ticks",
+            "figures": list(axis.constant.figures),
+            "note": axis.constant.note,
+            "targets": [
+                name
+                for name in report.targets
+                if name.split(".", 1)[0] in axis.constant.figures
+            ],
+        }
+    fitness: Dict[str, Any] = {
+        "loss": best.loss,
+        "targets_passed": best.targets_passed,
+        "targets_total": best.targets_total,
+        "targets": best.diagnostics.get("targets", {}),
+    }
+    if baseline is not None and baseline.ok:
+        fitness["baseline"] = {
+            "param_id": baseline.param_id,
+            "loss": baseline.loss,
+            "targets_passed": baseline.targets_passed,
+        }
+    return {
+        "schema": CALIBRATED_PARAMS_SCHEMA,
+        "schema_version": CALIBRATED_PARAMS_SCHEMA_VERSION,
+        "note": (
+            "Fitted values for *Calibrated* constants only; apply over "
+            "the shipped defaults with "
+            "repro.params.calibrated_system_params()."
+        ),
+        "param_id": best.param_id,
+        "overrides": nested_overrides(best.overrides),
+        "constants": constants,
+        "fitness": fitness,
+        "targets": list(report.targets),
+    }
+
+
+def build_sidecar_manifest(report: CalibrationReport) -> Dict[str, Any]:
+    """The run-provenance sidecar (timestamps allowed here, not above)."""
+    best = report.best
+    failed = len(report.failures())
+    return {
+        "schema": CALIBRATION_MANIFEST_SCHEMA,
+        "schema_version": 1,
+        "artifact": ARTIFACT_NAME,
+        "base_seed": report.base_seed,
+        "budget": report.budget,
+        "rounds": report.rounds,
+        "targets": list(report.targets),
+        "search_space": report.space.to_dict(),
+        "trials": {
+            "total": len(report.trials),
+            "ok": len(report.trials) - failed,
+            "failed": failed,
+        },
+        "best": best.param_id if best else None,
+        "constants": {
+            axis.param: {"figures": list(axis.constant.figures)}
+            for axis in report.space.axes
+        },
+        "code": {
+            "git_revision": git_revision(),
+            "repro_version": __version__,
+            "python": sys.version.split()[0],
+        },
+        "created_utc": datetime.now(timezone.utc).isoformat(),
+    }
+
+
+def write_calibration(report: CalibrationReport, out_dir: str) -> Dict[str, str]:
+    """Write artifact + sidecar + trials into ``out_dir``; return paths.
+
+    Refuses to overwrite: if any target file already exists the call
+    raises :class:`FileExistsError` and writes nothing — version
+    calibrations by directory (``results/calib/v1``, ``v2``, ...).
+    """
+    documents = {
+        ARTIFACT_NAME: build_artifact(report),
+        ARTIFACT_NAME + ".manifest.json": build_sidecar_manifest(report),
+        "trials.json": report.to_dict(),
+    }
+    os.makedirs(out_dir, exist_ok=True)
+    paths = {name: os.path.join(out_dir, name) for name in documents}
+    for path in paths.values():
+        if os.path.exists(path):
+            raise FileExistsError(
+                f"refusing to overwrite {path}; calibration artifacts "
+                "are immutable — write into a fresh versioned directory"
+            )
+    for name, document in documents.items():
+        with open(paths[name], "w", encoding="utf-8") as handle:
+            handle.write(_render(document))
+    return paths

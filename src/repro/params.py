@@ -13,10 +13,20 @@ dataclasses so ablations can tweak a single field.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field, replace
-from typing import Dict, Mapping
+from typing import Any, Dict, Mapping
 
 from repro.units import Gbps, GBps, ns, us
+
+CALIBRATED_PARAMS_SCHEMA = "netdimm-repro/calibrated-params"
+"""Schema string of a calibrated-params overlay artifact — the output
+of ``python -m repro calibrate`` (see ``docs/calibration.md``)."""
+
+CALIBRATED_PARAMS_SCHEMA_VERSION = 1
+"""Current calibrated-params revision.  v1: ``overrides`` is the
+nested ``{section: {field: ticks}}`` mapping :func:`apply_overrides`
+takes, ``constants``/``fitness`` are provenance and diagnostics."""
 
 # ---------------------------------------------------------------------------
 # Software / driver operation costs (Table 1 CPU: 8-core 3.4 GHz OoO).
@@ -536,6 +546,45 @@ def apply_overrides(
         else:
             params = replace(params, **{section: value})
     return params
+
+
+def load_calibrated_overlay(path: str) -> Dict[str, Dict[str, Any]]:
+    """The override mapping of a calibrated-params artifact on disk.
+
+    Validates the document's ``schema``/``schema_version`` and the
+    override *names* (via :func:`validate_overrides`) before returning
+    the nested ``{section: {field: value}}`` mapping — ready for
+    :func:`apply_overrides`, a scenario spec's ``overrides`` section,
+    or :func:`calibrated_system_params` below.  Foreign schemas and
+    future versions are rejected loudly, never half-read.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    schema = document.get("schema")
+    if schema != CALIBRATED_PARAMS_SCHEMA:
+        raise ValueError(
+            f"{path}: not a calibrated-params artifact "
+            f"(schema {schema!r}, expected {CALIBRATED_PARAMS_SCHEMA!r})"
+        )
+    version = document.get("schema_version")
+    if version != CALIBRATED_PARAMS_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: calibrated-params schema_version {version!r} is "
+            f"not supported (this build reads "
+            f"v{CALIBRATED_PARAMS_SCHEMA_VERSION})"
+        )
+    overrides = document.get("overrides")
+    if not isinstance(overrides, Mapping):
+        raise ValueError(f"{path}: calibrated-params has no overrides mapping")
+    validate_overrides(overrides)
+    return {section: dict(fields) for section, fields in overrides.items()}
+
+
+def calibrated_system_params(
+    path: str, base: SystemParams = DEFAULT
+) -> SystemParams:
+    """``base`` patched by a calibrated-params artifact from disk."""
+    return apply_overrides(base, load_calibrated_overlay(path))
 
 
 def table1_report(params: SystemParams = DEFAULT) -> Dict[str, str]:

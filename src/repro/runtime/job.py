@@ -71,6 +71,7 @@ def _ensure_assembler(kind: str) -> Assembler:
     if assembler is None:
         # Same lazy-import trick as the executor registry: the layers
         # that own each kind register theirs at import time.
+        import repro.calib  # noqa: F401
         import repro.experiments.harness  # noqa: F401
         import repro.scenario.runner  # noqa: F401
 

@@ -72,6 +72,7 @@ def _ensure_registered(kind: str) -> Callable[[Dict[str, Any]], Any]:
         # Executors live with the layers that own the work; importing
         # them here (lazily, to avoid cycles) registers the built-ins
         # in worker processes that never touched the harness.
+        import repro.calib  # noqa: F401
         import repro.experiments.harness  # noqa: F401
         import repro.scenario.runner  # noqa: F401
 

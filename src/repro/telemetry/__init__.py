@@ -36,12 +36,17 @@ Exports:
 * :func:`~repro.telemetry.chrome.runtime_trace` — a *sweep's*
   provenance manifest as a Chrome-trace timeline: per-shard wall
   spans laid out on one track per worker (see ``docs/runtime.md``).
+* :func:`~repro.telemetry.chrome.calibration_trace` — a *calibration
+  report* as a Chrome-trace timeline: one track per search round, one
+  event per trial with its loss and verdicts (see
+  ``docs/calibration.md``).
 
 See ``docs/observability.md`` for the full tour, including how to
 open a trace in Perfetto.
 """
 
 from repro.telemetry.chrome import (
+    calibration_trace,
     chrome_trace,
     dump_trace,
     runtime_trace,
@@ -52,6 +57,7 @@ from repro.telemetry.spans import SPAN_CATEGORIES, SpanTracer
 __all__ = [
     "SPAN_CATEGORIES",
     "SpanTracer",
+    "calibration_trace",
     "chrome_trace",
     "dump_trace",
     "runtime_trace",

@@ -214,6 +214,80 @@ def runtime_trace(manifest: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def calibration_trace(report: Dict[str, Any]) -> Dict[str, Any]:
+    """A calibration report document as a Chrome-trace timeline.
+
+    One trace *process* per search round, one ``"X"`` complete event
+    per trial — loading the document in Perfetto shows the search
+    narrowing round by round, with the per-trial loss and
+    targets-passed counts in the event args and failed trials on
+    their own ``trial.failed`` category.  The time axis is synthetic
+    (one microsecond per trial, in evaluation order): a calibration
+    report is deterministic and carries no wall-clock, so unlike
+    :func:`runtime_trace` this trace is, too.
+
+    ``report`` is the ``netdimm-repro/calib-report`` document
+    (``CalibrationReport.to_dict()`` or a loaded ``trials.json``).
+    """
+    trials = report.get("trials", [])
+    rounds: List[int] = []
+    for trial in trials:
+        round_index = trial.get("round", 0)
+        if round_index not in rounds:
+            rounds.append(round_index)
+    events: List[Dict[str, Any]] = []
+    for pid, round_index in enumerate(sorted(rounds), start=1):
+        events.append(
+            {
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "name": "process_name",
+                "args": {"name": f"round {round_index}"},
+            }
+        )
+    best = report.get("best")
+    for order, trial in enumerate(trials):
+        pid = sorted(rounds).index(trial.get("round", 0)) + 1
+        ok = trial.get("status") == "ok"
+        args: Dict[str, Any] = {
+            "status": trial.get("status"),
+            "seed": trial.get("seed"),
+            "overrides": trial.get("overrides", {}),
+        }
+        if ok:
+            args["loss"] = trial.get("loss")
+            args["targets_passed"] = trial.get("targets_passed")
+            args["targets_total"] = trial.get("targets_total")
+        else:
+            error = trial.get("diagnostics", {}).get("error", {})
+            args["exception_type"] = error.get("exception_type")
+        category = "trial.ok" if ok else "trial.failed"
+        if best is not None and trial.get("param_id") == best:
+            category += ".best"
+        events.append(
+            {
+                "ph": "X",
+                "pid": pid,
+                "tid": 1,
+                "name": trial.get("param_id", f"trial {order}"),
+                "cat": category,
+                "ts": float(order),
+                "dur": 1.0,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.calib",
+            "clock": "synthetic (one us per trial, evaluation order)",
+            "targets": report.get("targets", []),
+        },
+    }
+
+
 def segment_totals(
     payload: Dict[str, Any],
     names: Optional[Iterable[str]] = None,
